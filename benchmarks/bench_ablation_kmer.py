@@ -1,0 +1,29 @@
+"""Ablation: k-mer size.
+
+The paper uses k = 5 for whole-metagenome reads (composition signal) and
+k = 15 for 16S amplicons (sequence identity signal).  This sweep runs the
+hierarchical pipeline across k on the shotgun workload, exhibiting the
+trade-off: small k saturates the universe (everything looks similar),
+large k keys on exact substrings (same-genome reads stop matching).
+"""
+
+from __future__ import annotations
+
+from conftest import save_table
+
+from repro.bench import ExperimentScale, run_kmer_ablation
+
+KMER_SIZES = (3, 5, 8, 12)
+
+
+def test_kmer_ablation(benchmark, results_dir):
+    scale = ExperimentScale(num_reads=150, genome_length=5000, min_cluster_size=2)
+    table, rows = benchmark.pedantic(
+        lambda: run_kmer_ablation(scale, kmer_sizes=KMER_SIZES),
+        rounds=1,
+        iterations=1,
+    )
+    save_table(results_dir, "ablation_kmer", table.render())
+
+    for r in rows:
+        assert r.num_clusters >= 1

@@ -1,0 +1,26 @@
+"""Ablation: linkage policy ($LINK: single / average / complete).
+
+The paper exposes the linkage as a parameter but evaluates only one; this
+sweep shows the classic behaviour on the shotgun workload — single
+linkage chains clusters together (fewest clusters), complete linkage
+fragments (most clusters), average sits between.
+"""
+
+from __future__ import annotations
+
+from conftest import save_table
+
+from repro.bench import ExperimentScale, run_linkage_ablation
+
+
+def test_linkage_ablation(benchmark, results_dir):
+    scale = ExperimentScale(num_reads=150, genome_length=5000, min_cluster_size=2)
+    table, rows = benchmark.pedantic(
+        lambda: run_linkage_ablation(scale), rounds=1, iterations=1
+    )
+    save_table(results_dir, "ablation_linkage", table.render())
+
+    counts = {r.setting: r.num_clusters for r in rows}
+    # Chaining: single linkage can never produce more clusters than
+    # complete linkage at the same threshold.
+    assert counts["single"] <= counts["complete"]

@@ -1,0 +1,59 @@
+"""Ablation: heterogeneous nodes and speculative execution.
+
+The paper's EMR cluster is assumed homogeneous; real EC2 fleets are not.
+This ablation measures the modeled impact of straggler nodes on the
+Figure 2 pipeline and how much Hadoop's speculative execution recovers —
+the design consideration behind the simulator's scheduling model.
+"""
+
+from __future__ import annotations
+
+from conftest import save_table
+
+from repro.bench.figures import calibrate_from_measurement
+from repro.eval.report import Table
+from repro.mapreduce.simulator import ClusterSimulator, ClusterSpec
+from repro.mapreduce.workload import PipelineWorkload, build_pipeline_traces
+
+
+def test_straggler_ablation(benchmark, results_dir):
+    def run():
+        model = calibrate_from_measurement(calibration_reads=100, genome_length=4000)
+        workload = PipelineWorkload(
+            num_reads=100_000, row_band=5_000, sparse_similarity=True
+        )
+        traces = build_pipeline_traces(
+            workload,
+            map_cost_per_record_s=model.map_cost_per_record_s,
+            pair_cost_s=model.pair_cost_s,
+        )
+        table = Table(
+            title="Ablation - stragglers and speculative execution (100k reads, 8 nodes)",
+            columns=["Cluster condition", "Minutes", "Speculative attempts"],
+        )
+        rows = {}
+        for name, spec in (
+            ("healthy", ClusterSpec(num_nodes=8)),
+            (
+                "25% nodes 4x slow",
+                ClusterSpec(num_nodes=8, straggler_fraction=0.25, straggler_slowdown=4.0),
+            ),
+            (
+                "25% slow + speculation",
+                ClusterSpec(
+                    num_nodes=8, straggler_fraction=0.25, straggler_slowdown=4.0,
+                    speculative_execution=True,
+                ),
+            ),
+        ):
+            report = ClusterSimulator(spec, model).simulate_pipeline(traces)
+            attempts = sum(j.speculative_attempts for j in report.jobs)
+            table.add_row(name, round(report.total_minutes, 2), attempts)
+            rows[name] = report.total_minutes
+        return table, rows
+
+    table, rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table(results_dir, "ablation_stragglers", table.render())
+
+    assert rows["25% nodes 4x slow"] > rows["healthy"]
+    assert rows["25% slow + speculation"] < rows["25% nodes 4x slow"]

@@ -1,0 +1,49 @@
+"""Figure 2: modeled runtime vs cluster size (2-12 nodes) and input size
+(1 k - 10 M reads) for the hierarchical pipeline.
+
+The kernels are really measured (calibration run) and the task DAG is
+really scheduled; only distributed wall-clock is modeled (DESIGN.md
+substitution #1).  Shape assertions mirror the paper's observations:
+
+* "for the smallest input size of 1000 sequences ... there is no effect
+  on run time of increasing the number of nodes";
+* "for the 10 million sequence benchmark, we can further reduce the run
+  time by introducing more nodes" — monotone-ish decrease with healthy
+  total speedup;
+* larger inputs benefit more from added nodes than smaller ones.
+"""
+
+from __future__ import annotations
+
+from conftest import save_table
+
+from repro.bench import run_figure2
+
+NODES = (2, 4, 6, 8, 10, 12)
+READS = (1_000, 10_000, 100_000, 1_000_000, 10_000_000)
+
+
+def test_figure2(benchmark, medium_scale, results_dir):
+    table, result = benchmark.pedantic(
+        lambda: run_figure2(node_counts=NODES, read_counts=READS, scale=medium_scale),
+        rounds=1,
+        iterations=1,
+    )
+    save_table(results_dir, "figure2", table.render())
+
+    small = result.series(1_000)
+    large = result.series(10_000_000)
+
+    # Small input: node count is irrelevant (startup dominates).
+    small_speedup = small[0][1] / small[-1][1]
+    assert small_speedup < 1.1
+
+    # Large input: adding nodes keeps helping.
+    large_speedup = large[0][1] / large[-1][1]
+    assert large_speedup > 2.5
+    minutes = [m for _n, m in large]
+    assert all(b <= a * 1.02 for a, b in zip(minutes, minutes[1:])), minutes
+
+    # Scaling benefit grows with input size.
+    mid_speedup = result.series(100_000)[0][1] / result.series(100_000)[-1][1]
+    assert small_speedup <= mid_speedup <= large_speedup * 1.05

@@ -1,0 +1,57 @@
+"""Microbenchmarks of the pipeline kernels.
+
+These are the quantities the Figure 2 calibration measures: per-read
+sketching cost, per-pair similarity cost, the Map-Reduce engine's
+per-record overhead, and the agglomerative clustering step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.hierarchical import build_dendrogram
+from repro.datasets import generate_whole_metagenome_sample
+from repro.mapreduce.job import MapReduceJob, identity_mapper, identity_reducer
+from repro.mapreduce.runner import SerialRunner
+from repro.mapreduce.types import JobConf
+from repro.minhash.sketch import SketchingConfig, compute_sketches
+from repro.minhash.similarity import pairwise_similarity_matrix
+
+
+def _reads(n=200):
+    return generate_whole_metagenome_sample("S1", num_reads=n, genome_length=5000)
+
+
+def test_bench_sketching(benchmark):
+    reads = _reads()
+    config = SketchingConfig(kmer_size=5, num_hashes=100)
+    sketches = benchmark(lambda: compute_sketches(reads, config))
+    assert len(sketches) == len(reads)
+
+
+def test_bench_similarity_matrix(benchmark):
+    reads = _reads()
+    sketches = compute_sketches(reads, SketchingConfig(kmer_size=5, num_hashes=100))
+    matrix = benchmark(lambda: pairwise_similarity_matrix(sketches))
+    assert matrix.shape == (len(sketches), len(sketches))
+
+
+def test_bench_agglomeration(benchmark):
+    rng = np.random.default_rng(0)
+    n = 300
+    base = rng.random((n, n)) * 0.5
+    sim = (base + base.T) / 2
+    np.fill_diagonal(sim, 1.0)
+    dendrogram = benchmark(lambda: build_dendrogram(sim, linkage="average"))
+    assert dendrogram.is_complete
+
+
+def test_bench_mapreduce_overhead(benchmark):
+    """Engine overhead on a pass-through job over 10k records."""
+    job = MapReduceJob(name="noop", mapper=identity_mapper, reducer=identity_reducer)
+    inputs = [(i, i) for i in range(10_000)]
+    runner = SerialRunner(trace=False)
+    result = benchmark(
+        lambda: runner.run(job, inputs, JobConf(num_map_tasks=4, num_reduce_tasks=2))
+    )
+    assert len(result.output) == 10_000

@@ -1,0 +1,48 @@
+"""Tables I & II: dataset inventories, plus generator throughput.
+
+The tables themselves are spec-driven (they describe the inputs, not
+results); the benchmark measures the synthetic generators that stand in
+for the real data (DESIGN.md substitution #2).
+"""
+
+from __future__ import annotations
+
+from conftest import save_table
+
+from repro.bench import run_table1, run_table2
+from repro.datasets import (
+    generate_environmental_sample,
+    generate_whole_metagenome_sample,
+)
+
+
+def test_table1_metadata(benchmark, results_dir):
+    table = benchmark(run_table1)
+    save_table(results_dir, "table1", table.render())
+    assert len(table.rows) == 8  # the eight Sogin samples
+
+
+def test_table2_metadata(benchmark, results_dir):
+    table = benchmark(run_table2)
+    save_table(results_dir, "table2", table.render())
+    assert len(table.rows) == 15  # S1-S14 + R1
+
+
+def test_bench_whole_metagenome_generator(benchmark):
+    reads = benchmark.pedantic(
+        lambda: generate_whole_metagenome_sample(
+            "S1", num_reads=200, genome_length=5000
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert len(reads) == 200
+
+
+def test_bench_environmental_generator(benchmark):
+    reads = benchmark.pedantic(
+        lambda: generate_environmental_sample("53R", num_reads=200),
+        rounds=3,
+        iterations=1,
+    )
+    assert len(reads) == 200

@@ -1,0 +1,68 @@
+"""Table III: whole-metagenome clustering — MrMC-MinH^h vs ^g vs
+MetaCluster on the S1-S12 + R1 samples.
+
+Shape assertions mirror the paper's findings:
+
+* the hierarchical variant beats greedy and MetaCluster on mean W.Sim
+  (bold column of Table III);
+* the hierarchical variant's mean W.Acc is at least MetaCluster's;
+* greedy is faster than hierarchical (it skips the all-pairs job);
+* the modeled EMR times for the equal-sized samples S1-S10 are nearly
+  constant (the Section V-A claim: "run time ... averages about 4m20s
+  ... the cost of computing the all pairwise similarity is ... identical
+  for the 10 samples").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import save_table
+
+from repro.bench import run_table3
+
+SAMPLES = ("S1", "S2", "S3", "S4", "S5", "S6", "S7", "S8", "S9", "S10", "S11", "S12", "R1")
+
+
+def _mean(values):
+    values = [v for v in values if v is not None]
+    return float(np.mean(values)) if values else float("nan")
+
+
+def test_table3(benchmark, small_scale, results_dir):
+    table, results = benchmark.pedantic(
+        lambda: run_table3(small_scale, samples=SAMPLES),
+        rounds=1,
+        iterations=1,
+    )
+    save_table(results_dir, "table3", table.render())
+
+    by_method = {}
+    for r in results:
+        by_method.setdefault(r.method, []).append(r)
+
+    hier = by_method["MrMC-MinH^h"]
+    greedy = by_method["MrMC-MinH^g"]
+    meta = by_method["MetaCluster"]
+
+    # Hierarchical W.Sim at least matches greedy on average (Table III
+    # bold).  MetaCluster's W.Sim is not asserted: at scaled-down sizes
+    # its trimmed clusters are few and small, which inflates the sampled
+    # within-cluster similarity (see EXPERIMENTS.md).
+    assert _mean([r.w_sim for r in hier]) >= _mean([r.w_sim for r in greedy]) - 1.0
+
+    # Hierarchical beats MetaCluster on accuracy on average.
+    assert _mean([r.w_acc for r in hier]) > _mean([r.w_acc for r in meta])
+
+    # Hierarchical accuracy at least matches greedy on average.
+    assert _mean([r.w_acc for r in hier]) >= _mean([r.w_acc for r in greedy]) - 2.0
+
+    # Greedy skips the quadratic phase: its modeled cluster time is lower.
+    assert sum(r.modeled_seconds for r in greedy) < sum(
+        r.modeled_seconds for r in hier
+    )
+
+    # Section V-A: modeled EMR times for the ten equal-sized samples are
+    # nearly identical (all-pairs phase dominates and is size-determined).
+    s1_s10 = [r.modeled_seconds for r in hier if r.sample in
+              ("S1", "S2", "S3", "S4", "S5", "S6", "S7", "S8", "S9", "S10")]
+    assert max(s1_s10) - min(s1_s10) < 0.2 * np.mean(s1_s10)

@@ -1,0 +1,61 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one paper table/figure at a scaled-down size
+(DESIGN.md substitution #4), prints it, and saves the rendering under
+``benchmarks/results/`` so EXPERIMENTS.md can quote it.  Environment
+variable ``REPRO_BENCH_READS`` scales every workload up or down.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.bench import ExperimentScale
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_reads(default: int) -> int:
+    """Read count for a benchmark, honouring REPRO_BENCH_READS."""
+    override = os.environ.get("REPRO_BENCH_READS")
+    return int(override) if override else default
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def small_scale() -> ExperimentScale:
+    """Scale for the expensive multi-method tables."""
+    return ExperimentScale(
+        num_reads=bench_reads(120),
+        genome_length=5000,
+        min_cluster_size=2,
+        max_pairs_per_cluster=20,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def medium_scale() -> ExperimentScale:
+    """Scale for the cheaper single-pipeline experiments."""
+    return ExperimentScale(
+        num_reads=bench_reads(300),
+        genome_length=8000,
+        min_cluster_size=3,
+        max_pairs_per_cluster=30,
+        seed=0,
+    )
+
+
+def save_table(results_dir: pathlib.Path, name: str, rendered: str) -> None:
+    """Persist a rendered table and echo it to stdout."""
+    (results_dir / f"{name}.txt").write_text(rendered + "\n")
+    print()
+    print(rendered)

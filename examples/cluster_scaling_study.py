@@ -1,0 +1,39 @@
+"""Cluster-scaling study: how many EMR nodes does a sample need?
+
+Run:  python examples/cluster_scaling_study.py
+
+Uses the calibrated cost model and the discrete-event cluster simulator
+to answer a capacity-planning question the paper's Figure 2 motivates:
+given an input size, where does adding nodes stop paying?  Prints the
+modeled runtime surface plus the smallest cluster within 10 % of the
+12-node runtime for each input size.
+"""
+
+from repro.bench import run_figure2
+from repro.bench.harness import ExperimentScale
+
+NODES = (2, 3, 4, 6, 8, 10, 12)
+READS = (1_000, 10_000, 100_000, 1_000_000, 10_000_000)
+
+
+def main() -> None:
+    scale = ExperimentScale(num_reads=150, genome_length=5000)
+    table, result = run_figure2(node_counts=NODES, read_counts=READS, scale=scale)
+    print(table.render())
+    print(
+        f"\ncalibrated: {result.cost_model.map_cost_per_record_s * 1e3:.3f} ms/read sketch, "
+        f"{result.cost_model.pair_cost_s * 1e6:.3f} us/pair similarity"
+    )
+
+    print("\nrecommended cluster sizes (within 10% of 12-node runtime):")
+    for reads in READS:
+        series = result.series(reads)
+        best = series[-1][1]
+        for nodes, minutes in series:
+            if minutes <= best * 1.10:
+                print(f"  {reads:>12,} reads -> {nodes} nodes ({minutes:.1f} min)")
+                break
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Whole-metagenome binning: MrMC-MinH vs MetaCluster on a hard mix.
+
+Run:  python examples/whole_metagenome_binning.py
+
+Reproduces the Table III comparison on one sample: the S12 six-species
+mix spanning species-to-kingdom taxonomic distances.  Shows how the
+hierarchical variant trades runtime for accuracy against the greedy
+variant and the MetaCluster baseline.
+"""
+
+import time
+
+from repro import MrMCMinH, weighted_cluster_accuracy, weighted_cluster_similarity
+from repro.baselines import metacluster_cluster
+from repro.datasets import generate_whole_metagenome_sample
+from repro.eval.metrics import normalized_mutual_information
+from repro.eval.report import Table
+
+
+def main() -> None:
+    reads = generate_whole_metagenome_sample(
+        "S12", num_reads=300, genome_length=8000, seed=3
+    )
+    truth = {r.read_id: r.label for r in reads}
+    sequences = {r.read_id: r.sequence for r in reads}
+    print(f"S12: {len(reads)} reads, {len(set(truth.values()))} species "
+          "(species..kingdom level differences)")
+
+    table = Table(
+        title="S12 binning comparison",
+        columns=["Method", "#Cluster", "W.Acc", "W.Sim", "NMI", "Time(s)"],
+    )
+
+    def report(name, assignment, seconds):
+        table.add_row(
+            name,
+            assignment.num_clusters,
+            weighted_cluster_accuracy(assignment, truth, min_cluster_size=3),
+            weighted_cluster_similarity(
+                assignment, sequences, min_cluster_size=3, max_pairs_per_cluster=25
+            ),
+            round(normalized_mutual_information(assignment, truth), 3),
+            seconds,
+        )
+
+    for method in ("hierarchical", "greedy"):
+        model = MrMCMinH(
+            kmer_size=5, num_hashes=100, threshold=0.78,
+            method=method, estimator="positional", seed=3,
+        )
+        t0 = time.perf_counter()
+        run = model.fit(reads)
+        report(f"MrMC-MinH^{method[0]}", run.assignment, time.perf_counter() - t0)
+
+    t0 = time.perf_counter()
+    assignment = metacluster_cluster(reads, seed=3)
+    report("MetaCluster", assignment, time.perf_counter() - t0)
+
+    print(table.render())
+
+
+if __name__ == "__main__":
+    main()

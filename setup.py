@@ -1,0 +1,7 @@
+"""Legacy setup shim: the environment lacks the ``wheel`` package, so
+``pip install -e . --no-build-isolation --no-use-pep517`` needs this file.
+All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,43 @@
+"""MrMC-MinH: a Map-Reduce framework for clustering metagenomes.
+
+Reproduction of Rasheed & Rangwala, *"A Map-Reduce Framework for
+Clustering Metagenomes"* (IPPS 2013).  The headline API is
+:class:`~repro.cluster.pipeline.MrMCMinH`; everything the paper's pipeline
+depends on — sequence handling, min-wise hashing, a Map-Reduce engine with
+simulated HDFS, a Pig dataflow layer, baseline clustering algorithms,
+dataset simulators, evaluation metrics and a cluster-scaling simulator —
+lives in the subpackages documented in DESIGN.md.
+"""
+
+from repro.cluster.pipeline import ClusteringRun, MrMCMinH
+from repro.cluster.assignments import ClusterAssignment
+from repro.cluster.greedy import greedy_cluster
+from repro.cluster.hierarchical import agglomerative_cluster
+from repro.minhash.sketch import MinHashSketch, SketchingConfig, compute_sketches
+from repro.minhash.similarity import estimate_jaccard, exact_jaccard
+from repro.seq.fasta import read_fasta, read_fasta_text, write_fasta
+from repro.seq.records import SequenceRecord
+from repro.eval.accuracy import weighted_cluster_accuracy
+from repro.eval.similarity import weighted_cluster_similarity
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MrMCMinH",
+    "ClusteringRun",
+    "ClusterAssignment",
+    "greedy_cluster",
+    "agglomerative_cluster",
+    "MinHashSketch",
+    "SketchingConfig",
+    "compute_sketches",
+    "estimate_jaccard",
+    "exact_jaccard",
+    "read_fasta",
+    "read_fasta_text",
+    "write_fasta",
+    "SequenceRecord",
+    "weighted_cluster_accuracy",
+    "weighted_cluster_similarity",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""Pairwise sequence alignment.
+
+The paper evaluates clusterings with "average global sequence alignment
+similarity" (W.Sim, Section IV-B); DOTUR/Mothur-style baselines cluster on
+full alignment distances and ESPRIT on k-mer distance.  This package
+implements global (Needleman–Wunsch) alignment with traceback, a banded
+variant, and the ESPRIT k-mer distance.
+"""
+
+from repro.align.global_align import (
+    AlignmentResult,
+    ScoringScheme,
+    global_align,
+    global_identity,
+)
+from repro.align.banded import banded_identity
+from repro.align.affine import AffineScheme, affine_align, affine_identity
+from repro.align.kmerdist import kmer_distance, kmer_distance_matrix
+
+__all__ = [
+    "AlignmentResult",
+    "ScoringScheme",
+    "global_align",
+    "global_identity",
+    "banded_identity",
+    "AffineScheme",
+    "affine_align",
+    "affine_identity",
+    "kmer_distance",
+    "kmer_distance_matrix",
+]

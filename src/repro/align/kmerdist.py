@@ -1,0 +1,52 @@
+"""k-mer distance (the ESPRIT shortcut).
+
+ESPRIT avoids full alignments by comparing k-mer count vectors: the
+distance between sequences ``u`` and ``v`` with k-mer count vectors
+``c_u``, ``c_v`` is
+
+    d(u, v) = 1 - sum_w min(c_u[w], c_v[w]) / (min(|u|, |v|) - k + 1)
+
+which upper-bounds alignment distance and is O(|u| + |v|) to evaluate.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import KmerError
+from repro.seq.kmers import kmer_counts
+
+
+def kmer_distance(seq_a: str, seq_b: str, k: int = 6) -> float:
+    """ESPRIT-style k-mer distance in [0, 1] (0 = identical profiles)."""
+    if len(seq_a) < k or len(seq_b) < k:
+        raise KmerError(
+            f"both sequences must be at least k={k} long "
+            f"(got {len(seq_a)} and {len(seq_b)})"
+        )
+    ca = kmer_counts(seq_a, k, strict=False)
+    cb = kmer_counts(seq_b, k, strict=False)
+    shared = sum(min(ca[w], cb[w]) for w in ca.keys() & cb.keys())
+    denom = min(len(seq_a), len(seq_b)) - k + 1
+    if denom <= 0:
+        raise KmerError("sequences too short for k-mer distance")
+    return 1.0 - shared / denom
+
+
+def kmer_distance_matrix(sequences: Sequence[str], k: int = 6) -> np.ndarray:
+    """All-pairs k-mer distance matrix (symmetric, zero diagonal)."""
+    n = len(sequences)
+    counts = [kmer_counts(s, k, strict=False) for s in sequences]
+    lengths = [len(s) for s in sequences]
+    out = np.zeros((n, n), dtype=np.float64)
+    for i in range(n):
+        ci = counts[i]
+        for j in range(i + 1, n):
+            cj = counts[j]
+            shared = sum(min(ci[w], cj[w]) for w in ci.keys() & cj.keys())
+            denom = min(lengths[i], lengths[j]) - k + 1
+            d = 1.0 - shared / denom if denom > 0 else 1.0
+            out[i, j] = out[j, i] = d
+    return out

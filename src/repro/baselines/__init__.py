@@ -1,0 +1,40 @@
+"""Reimplementations of the paper's comparison methods.
+
+Each baseline follows the published core idea of the original tool
+(DESIGN.md substitution #3):
+
+* :func:`mc_lsh` — the authors' earlier LSH greedy clusterer (MC-LSH).
+* :func:`cdhit_cluster` — CD-HIT: longest-first greedy with a common-word
+  filter before alignment.
+* :func:`uclust_cluster` — UCLUST: input-order greedy, candidate
+  representatives ranked by shared words, bounded rejects.
+* :func:`esprit_cluster` — ESPRIT: k-mer distance + hierarchical
+  complete linkage.
+* :func:`dotur_cluster` / :func:`mothur_cluster` — all-pairs alignment
+  distance + hierarchical clustering (furthest neighbour; mothur rounds
+  distances to 0.01 bins as the real tool does).
+* :class:`MetaCluster` — two-phase top-down separation / bottom-up
+  merging on k-mer frequency Spearman distance.
+
+All return :class:`~repro.cluster.assignments.ClusterAssignment`.
+"""
+
+from repro.baselines.mclsh import mc_lsh
+from repro.baselines.cdhit import cdhit_cluster
+from repro.baselines.uclust import uclust_cluster
+from repro.baselines.esprit import esprit_cluster
+from repro.baselines.dotur import dotur_cluster, alignment_distance_matrix
+from repro.baselines.mothur import mothur_cluster
+from repro.baselines.metacluster import MetaCluster, metacluster_cluster
+
+__all__ = [
+    "mc_lsh",
+    "cdhit_cluster",
+    "uclust_cluster",
+    "esprit_cluster",
+    "dotur_cluster",
+    "alignment_distance_matrix",
+    "mothur_cluster",
+    "MetaCluster",
+    "metacluster_cluster",
+]

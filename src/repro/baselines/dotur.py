@@ -1,0 +1,76 @@
+"""DOTUR-style clustering: full alignment-distance matrix + hierarchical.
+
+DOTUR (Schloss & Handelsman 2005) "computes an all-pairwise distance
+matrix as input and then performs hierarchical clustering" (Section II) —
+the exact, expensive approach the paper's Table V timings show running
+10³–10⁴× slower than the sketch-based methods.  Distances here are
+``1 - global alignment identity``; the default linkage is furthest
+neighbour (DOTUR's default OTU definition).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ClusteringError
+from repro.align.banded import banded_identity
+from repro.cluster.assignments import ClusterAssignment
+from repro.cluster.hierarchical import agglomerative_cluster
+from repro.seq.records import SequenceRecord
+
+
+def alignment_distance_matrix(
+    records: Sequence[SequenceRecord], *, band: int | None = None
+) -> np.ndarray:
+    """All-pairs global-alignment identity matrix (the shared substrate of
+    the DOTUR and Mothur baselines).  Returned values are *similarities*
+    in [0, 1] with unit diagonal.
+
+    ``band=None`` picks the band per pair: the length difference plus a
+    small margin, which is exact for the near-identical pairs that matter
+    and much faster than a fixed wide band on short reads.
+    """
+    n = len(records)
+    if n == 0:
+        raise ClusteringError("cannot build a matrix over no records")
+    sequences = [r.sequence for r in records]
+    lengths = [len(s) for s in sequences]
+    out = np.eye(n, dtype=np.float64)
+    for i in range(n):
+        for j in range(i + 1, n):
+            pair_band = (
+                band
+                if band is not None
+                else max(8, abs(lengths[i] - lengths[j]) + 8)
+            )
+            s = banded_identity(sequences[i], sequences[j], band=pair_band)
+            out[i, j] = out[j, i] = s
+    return out
+
+
+def dotur_cluster(
+    records: Sequence[SequenceRecord],
+    threshold: float,
+    *,
+    linkage: str = "complete",
+    band: int = 32,
+    similarity: np.ndarray | None = None,
+) -> ClusterAssignment:
+    """DOTUR-style clustering at a similarity threshold.
+
+    ``similarity`` lets callers (and the Mothur baseline) reuse a
+    precomputed matrix instead of paying the quadratic alignment cost
+    twice.
+    """
+    if not records:
+        raise ClusteringError("cannot cluster an empty sample")
+    if similarity is None:
+        similarity = alignment_distance_matrix(records, band=band)
+    return agglomerative_cluster(
+        similarity,
+        [r.read_id for r in records],
+        threshold,
+        linkage=linkage,
+    )

@@ -1,0 +1,75 @@
+"""MC-LSH: locality-sensitive-hashing greedy clustering.
+
+The authors' previous work (refs [17], [18] of the paper) bins 16S
+sequences with LSH: min-hash values are grouped into bands; two sequences
+whose values collide in at least one band are *candidates*, and candidates
+are verified with the estimated Jaccard similarity before joining a
+cluster.  Compared to MrMC-MinH^g this skips most pairwise checks (only
+band-colliding pairs are scored) at the cost of possibly missing
+borderline joins — the behaviour visible in Tables IV/V where MC-LSH
+produces slightly different cluster counts than MrMC-MinH^g.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import ClusteringError, SketchError
+from repro.cluster.assignments import ClusterAssignment
+from repro.minhash.lsh import LshIndex
+from repro.minhash.sketch import SketchingConfig, compute_sketches
+from repro.minhash.similarity import estimate_jaccard
+from repro.seq.records import SequenceRecord
+
+
+def mc_lsh(
+    records: Sequence[SequenceRecord],
+    threshold: float,
+    *,
+    kmer_size: int = 15,
+    num_hashes: int = 50,
+    band_size: int = 5,
+    seed: int = 0,
+) -> ClusterAssignment:
+    """Greedy LSH clustering of sequence records.
+
+    Cluster representatives live in an :class:`~repro.minhash.lsh.LshIndex`;
+    each incoming sequence is verified only against representatives it
+    band-collides with.
+
+    Parameters
+    ----------
+    threshold:
+        Similarity threshold for joining a cluster representative.
+    band_size:
+        Min-hash values per LSH band; ``num_hashes`` must be divisible by
+        it.  Smaller bands are more permissive candidate generators.
+    """
+    if not records:
+        raise ClusteringError("cannot cluster an empty sample")
+    if not 0.0 <= threshold <= 1.0:
+        raise ClusteringError(f"threshold must be in [0,1], got {threshold}")
+    try:
+        index = LshIndex(num_hashes=num_hashes, band_size=band_size)
+    except SketchError as exc:
+        raise ClusteringError(str(exc)) from exc
+    config = SketchingConfig(kmer_size=kmer_size, num_hashes=num_hashes, seed=seed)
+    sketches = compute_sketches(records, config)
+    if not sketches:
+        raise ClusteringError("no sequence produced a sketch")
+
+    rep_label: dict[str, int] = {}  # representative read id -> cluster label
+    labels: list[int] = []
+    for sketch in sketches:
+        assigned = -1
+        for rep_id in index.candidates(sketch):
+            if estimate_jaccard(sketch, index.get(rep_id), estimator="set") >= threshold:
+                assigned = rep_label[rep_id]
+                break
+        if assigned < 0:
+            assigned = len(rep_label)
+            rep_label[sketch.read_id] = assigned
+            index.insert(sketch)
+        labels.append(assigned)
+
+    return ClusterAssignment.from_labels([s.read_id for s in sketches], labels)

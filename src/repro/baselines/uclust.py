@@ -1,0 +1,77 @@
+"""UCLUST-style greedy clustering.
+
+UCLUST (Edgar 2010) processes sequences in input order; for each query it
+ranks existing cluster representatives ("seeds") by the number of shared
+words (the USEARCH "U-sort" heuristic), aligns against them best-first,
+accepts the first seed whose identity clears the threshold, and gives up
+after ``max_rejects`` failed alignments — the property that makes it
+"orders of magnitude faster than BLAST" and slightly greedier than
+CD-HIT.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Sequence
+
+from repro.errors import ClusteringError
+from repro.align.banded import banded_identity
+from repro.cluster.assignments import ClusterAssignment
+from repro.seq.kmers import kmer_set
+from repro.seq.records import SequenceRecord
+
+
+def uclust_cluster(
+    records: Sequence[SequenceRecord],
+    threshold: float,
+    *,
+    word_size: int = 8,
+    max_rejects: int = 8,
+    band: int = 32,
+) -> ClusterAssignment:
+    """Cluster records UCLUST style at the given identity threshold."""
+    if not records:
+        raise ClusteringError("cannot cluster an empty sample")
+    if not 0.0 <= threshold <= 1.0:
+        raise ClusteringError(f"threshold must be in [0,1], got {threshold}")
+    if max_rejects < 1:
+        raise ClusteringError(f"max_rejects must be >= 1, got {max_rejects}")
+
+    # Inverted index: word -> seed ids containing it (U-sort substrate).
+    word_index: dict[int, list[int]] = defaultdict(list)
+    seed_sequences: list[str] = []
+    labels: dict[str, int] = {}
+
+    def add_seed(sequence: str) -> int:
+        seed_id = len(seed_sequences)
+        seed_sequences.append(sequence)
+        if len(sequence) >= word_size:
+            for w in set(kmer_set(sequence, word_size, strict=False).tolist()):
+                word_index[w].append(seed_id)
+        return seed_id
+
+    for rec in records:
+        if len(rec.sequence) < word_size:
+            labels[rec.read_id] = add_seed(rec.sequence)
+            continue
+        words = set(kmer_set(rec.sequence, word_size, strict=False).tolist())
+        shared: dict[int, int] = defaultdict(int)
+        for w in words:
+            for seed_id in word_index.get(w, ()):
+                shared[seed_id] += 1
+        # Best-first by shared word count (stable by seed id).
+        candidates = sorted(shared.items(), key=lambda kv: (-kv[1], kv[0]))
+        assigned = -1
+        rejects = 0
+        for seed_id, _count in candidates:
+            if banded_identity(rec.sequence, seed_sequences[seed_id], band=band) >= threshold:
+                assigned = seed_id
+                break
+            rejects += 1
+            if rejects >= max_rejects:
+                break
+        if assigned < 0:
+            assigned = add_seed(rec.sequence)
+        labels[rec.read_id] = assigned
+
+    return ClusterAssignment(labels)

@@ -1,0 +1,41 @@
+"""Experiment harness: one driver per paper table/figure.
+
+Each driver generates the (scaled) workload, runs every method the paper
+compares, computes the paper's metrics, and returns structured rows that
+render in the same layout as the published table.  The benchmark scripts
+under ``benchmarks/`` are thin wrappers around these drivers, and
+EXPERIMENTS.md records paper-vs-measured values produced by them.
+"""
+
+from repro.bench.harness import MethodResult, ExperimentScale, evaluate_assignment
+from repro.bench.tables import (
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+from repro.bench.figures import run_figure2, calibrate_from_measurement
+from repro.bench.ablations import (
+    run_estimator_ablation,
+    run_num_hashes_ablation,
+    run_kmer_ablation,
+    run_linkage_ablation,
+)
+
+__all__ = [
+    "MethodResult",
+    "ExperimentScale",
+    "evaluate_assignment",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_figure2",
+    "calibrate_from_measurement",
+    "run_estimator_ablation",
+    "run_num_hashes_ablation",
+    "run_kmer_ablation",
+    "run_linkage_ablation",
+]

@@ -1,0 +1,195 @@
+"""Ablation drivers for the design choices DESIGN.md calls out.
+
+These go beyond the paper's tables: they quantify how MrMC-MinH's results
+depend on (a) the Jaccard estimator written in Algorithm 1 vs the
+classical positional estimator, (b) the number of hash functions, (c) the
+k-mer size (the paper switches 5 -> 15 between whole-metagenome and 16S
+data), and (d) the hierarchical linkage policy (``$LINK``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bench.harness import ExperimentScale
+from repro.cluster.pipeline import MrMCMinH
+from repro.datasets.whole_metagenome import generate_whole_metagenome_sample
+from repro.eval.accuracy import weighted_cluster_accuracy
+from repro.eval.report import Table
+from repro.minhash.sketch import SketchingConfig, compute_sketches
+from repro.minhash.similarity import (
+    estimate_jaccard,
+    exact_jaccard,
+)
+from repro.seq.kmers import kmer_set
+
+
+@dataclass
+class AblationRow:
+    """One setting's outcome."""
+
+    setting: str
+    num_clusters: int | None
+    w_acc: float | None
+    estimator_rmse: float | None = None
+
+
+def _sample(scale: ExperimentScale, sid: str = "S10"):
+    reads = generate_whole_metagenome_sample(
+        sid, num_reads=scale.num_reads, genome_length=scale.genome_length,
+        seed=scale.seed,
+    )
+    truth = {r.read_id: r.label for r in reads}
+    return reads, truth
+
+
+def run_estimator_ablation(
+    scale: ExperimentScale | None = None,
+    *,
+    kmer_size: int = 5,
+    num_hashes: int = 100,
+    num_pairs: int = 300,
+) -> tuple[Table, list[AblationRow]]:
+    """Set-based (Algorithm 1 line 9) vs positional estimator: RMSE
+    against exact Jaccard, plus downstream clustering quality."""
+    scale = scale or ExperimentScale()
+    reads, truth = _sample(scale)
+    config = SketchingConfig(kmer_size=kmer_size, num_hashes=num_hashes, seed=scale.seed)
+    sketches = compute_sketches(reads, config)
+    feature_sets = {
+        r.read_id: kmer_set(r.sequence, kmer_size, strict=False) for r in reads
+    }
+    rng = np.random.default_rng(scale.seed)
+    n = len(sketches)
+    pairs = [
+        tuple(sorted(rng.choice(n, size=2, replace=False))) for _ in range(num_pairs)
+    ]
+    rows: list[AblationRow] = []
+    for estimator in ("set", "positional"):
+        errors = []
+        for i, j in pairs:
+            si, sj = sketches[int(i)], sketches[int(j)]
+            est = estimate_jaccard(si, sj, estimator=estimator)
+            true = exact_jaccard(feature_sets[si.read_id], feature_sets[sj.read_id])
+            errors.append(est - true)
+        rmse = float(np.sqrt(np.mean(np.square(errors))))
+        assignment = MrMCMinH(
+            kmer_size=kmer_size, num_hashes=num_hashes, threshold=0.78,
+            method="greedy", estimator=estimator, seed=scale.seed,
+        ).fit(reads).assignment
+        rows.append(
+            AblationRow(
+                setting=estimator,
+                num_clusters=assignment.num_clusters,
+                w_acc=weighted_cluster_accuracy(
+                    assignment, truth, min_cluster_size=scale.min_cluster_size
+                ),
+                estimator_rmse=rmse,
+            )
+        )
+    table = Table(
+        title="Ablation - Jaccard estimator",
+        columns=["Estimator", "RMSE vs exact", "#Cluster", "W.Acc"],
+    )
+    for r in rows:
+        table.add_row(r.setting, r.estimator_rmse, r.num_clusters, r.w_acc)
+    return table, rows
+
+
+def run_num_hashes_ablation(
+    scale: ExperimentScale | None = None,
+    *,
+    hash_counts: Sequence[int] = (10, 25, 50, 100, 200),
+    threshold: float = 0.78,
+) -> tuple[Table, list[AblationRow]]:
+    """Sketch width n: clustering quality as hash functions increase."""
+    scale = scale or ExperimentScale()
+    reads, truth = _sample(scale)
+    rows: list[AblationRow] = []
+    for n in hash_counts:
+        assignment = MrMCMinH(
+            kmer_size=5, num_hashes=n, threshold=threshold, seed=scale.seed,
+        ).fit(reads).assignment
+        rows.append(
+            AblationRow(
+                setting=f"n={n}",
+                num_clusters=assignment.num_clusters,
+                w_acc=weighted_cluster_accuracy(
+                    assignment, truth, min_cluster_size=scale.min_cluster_size
+                ),
+            )
+        )
+    table = Table(
+        title="Ablation - number of hash functions",
+        columns=["Setting", "#Cluster", "W.Acc"],
+    )
+    for r in rows:
+        table.add_row(r.setting, r.num_clusters, r.w_acc)
+    return table, rows
+
+
+def run_kmer_ablation(
+    scale: ExperimentScale | None = None,
+    *,
+    kmer_sizes: Sequence[int] = (3, 5, 8, 12),
+    threshold: float = 0.78,
+) -> tuple[Table, list[AblationRow]]:
+    """k-mer size: composition signal vs specificity on shotgun reads."""
+    scale = scale or ExperimentScale()
+    reads, truth = _sample(scale)
+    rows: list[AblationRow] = []
+    for k in kmer_sizes:
+        assignment = MrMCMinH(
+            kmer_size=k, num_hashes=100, threshold=threshold, seed=scale.seed,
+        ).fit(reads).assignment
+        rows.append(
+            AblationRow(
+                setting=f"k={k}",
+                num_clusters=assignment.num_clusters,
+                w_acc=weighted_cluster_accuracy(
+                    assignment, truth, min_cluster_size=scale.min_cluster_size
+                ),
+            )
+        )
+    table = Table(
+        title="Ablation - k-mer size",
+        columns=["Setting", "#Cluster", "W.Acc"],
+    )
+    for r in rows:
+        table.add_row(r.setting, r.num_clusters, r.w_acc)
+    return table, rows
+
+
+def run_linkage_ablation(
+    scale: ExperimentScale | None = None,
+    *,
+    threshold: float = 0.78,
+) -> tuple[Table, list[AblationRow]]:
+    """$LINK: single vs average vs complete linkage."""
+    scale = scale or ExperimentScale()
+    reads, truth = _sample(scale)
+    rows: list[AblationRow] = []
+    for linkage in ("single", "average", "complete"):
+        assignment = MrMCMinH(
+            kmer_size=5, num_hashes=100, threshold=threshold,
+            linkage=linkage, seed=scale.seed,
+        ).fit(reads).assignment
+        rows.append(
+            AblationRow(
+                setting=linkage,
+                num_clusters=assignment.num_clusters,
+                w_acc=weighted_cluster_accuracy(
+                    assignment, truth, min_cluster_size=scale.min_cluster_size
+                ),
+            )
+        )
+    table = Table(
+        title="Ablation - linkage policy",
+        columns=["Linkage", "#Cluster", "W.Acc"],
+    )
+    for r in rows:
+        table.add_row(r.setting, r.num_clusters, r.w_acc)
+    return table, rows

@@ -1,0 +1,106 @@
+"""Shared experiment-harness plumbing."""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.errors import EvaluationError
+from repro.cluster.assignments import ClusterAssignment
+from repro.eval.accuracy import weighted_cluster_accuracy
+from repro.eval.similarity import weighted_cluster_similarity
+from repro.seq.records import SequenceRecord
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Scaled-down workload knobs (DESIGN.md substitution #4).
+
+    ``min_cluster_size`` replaces the paper's ">50 sequences" metric
+    filter proportionally at small sample sizes.
+    """
+
+    num_reads: int = 300
+    genome_length: int = 8000
+    min_cluster_size: int = 3
+    max_pairs_per_cluster: int = 60
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_reads < 10:
+            raise EvaluationError("num_reads must be >= 10")
+        if self.min_cluster_size < 2:
+            raise EvaluationError("min_cluster_size must be >= 2")
+
+
+@dataclass
+class MethodResult:
+    """One method's row in a results table.
+
+    ``num_clusters`` is the *trimmed* count — clusters with at least
+    ``scale.min_cluster_size`` members — matching the paper's reporting
+    ("single sequence clusters ... are not included"); the raw count is
+    kept in ``num_clusters_total``.
+    """
+
+    method: str
+    sample: str
+    num_clusters: int
+    w_acc: float | None
+    w_sim: float | None
+    seconds: float
+    modeled_seconds: float | None = None
+    num_clusters_total: int = 0
+
+
+def evaluate_assignment(
+    method: str,
+    sample: str,
+    assignment: ClusterAssignment,
+    records: Sequence[SequenceRecord],
+    seconds: float,
+    *,
+    scale: ExperimentScale,
+    with_accuracy: bool = True,
+) -> MethodResult:
+    """Compute the paper's metrics (W.Acc, W.Sim, #Cluster) for one run."""
+    sequences = {r.read_id: r.sequence for r in records}
+    truth = {r.read_id: r.label for r in records if r.label is not None}
+    w_acc = None
+    if with_accuracy and truth:
+        try:
+            w_acc = weighted_cluster_accuracy(
+                assignment, truth, min_cluster_size=scale.min_cluster_size
+            )
+        except EvaluationError:
+            w_acc = None
+    try:
+        w_sim = weighted_cluster_similarity(
+            assignment,
+            sequences,
+            min_cluster_size=scale.min_cluster_size,
+            max_pairs_per_cluster=scale.max_pairs_per_cluster,
+            seed=scale.seed,
+        )
+    except EvaluationError:
+        w_sim = None
+    trimmed = sum(
+        1 for size in assignment.sizes().values() if size >= scale.min_cluster_size
+    )
+    return MethodResult(
+        method=method,
+        sample=sample,
+        num_clusters=trimmed,
+        w_acc=w_acc,
+        w_sim=w_sim,
+        seconds=seconds,
+        num_clusters_total=assignment.num_clusters,
+    )
+
+
+def timed(fn: Callable[[], ClusterAssignment]) -> tuple[ClusterAssignment, float]:
+    """Run a clustering callable, returning (assignment, wall seconds)."""
+    t0 = time.perf_counter()
+    assignment = fn()
+    return assignment, time.perf_counter() - t0

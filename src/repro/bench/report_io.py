@@ -1,0 +1,86 @@
+"""Serialization of benchmark results.
+
+EXPERIMENTS.md quotes numbers; these helpers make every driver's output
+machine-readable too: JSON for archival/diffing across runs, and a
+GitHub-flavoured markdown table for direct inclusion in docs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections.abc import Sequence
+from dataclasses import asdict
+
+from repro.errors import EvaluationError
+from repro.bench.harness import MethodResult
+
+
+def results_to_json(results: Sequence[MethodResult], *, indent: int = 2) -> str:
+    """Serialize result rows to a JSON array."""
+    return json.dumps([asdict(r) for r in results], indent=indent)
+
+
+def results_from_json(text: str) -> list[MethodResult]:
+    """Inverse of :func:`results_to_json`."""
+    try:
+        raw = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise EvaluationError(f"invalid results JSON: {exc}") from exc
+    if not isinstance(raw, list):
+        raise EvaluationError("results JSON must be an array")
+    out = []
+    for i, item in enumerate(raw):
+        try:
+            out.append(MethodResult(**item))
+        except TypeError as exc:
+            raise EvaluationError(f"results JSON entry {i} invalid: {exc}") from exc
+    return out
+
+
+def save_results(
+    results: Sequence[MethodResult], path: str | os.PathLike
+) -> None:
+    """Write result rows to a JSON file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(results_to_json(results))
+
+
+def load_results(path: str | os.PathLike) -> list[MethodResult]:
+    """Read result rows from a JSON file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return results_from_json(fh.read())
+
+
+def results_to_markdown(results: Sequence[MethodResult]) -> str:
+    """Render result rows as a GitHub-flavoured markdown table."""
+    if not results:
+        raise EvaluationError("no results to render")
+    header = "| Sample | Method | #Cluster | W.Acc | W.Sim | Time (s) | Modeled (s) |"
+    rule = "|---|---|---|---|---|---|---|"
+
+    def fmt(value) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    lines = [header, rule]
+    for r in results:
+        lines.append(
+            "| "
+            + " | ".join(
+                [
+                    r.sample,
+                    r.method,
+                    str(r.num_clusters),
+                    fmt(r.w_acc),
+                    fmt(r.w_sim),
+                    fmt(r.seconds),
+                    fmt(r.modeled_seconds),
+                ]
+            )
+            + " |"
+        )
+    return "\n".join(lines)

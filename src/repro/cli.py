@@ -1,0 +1,278 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro cluster   FASTA            cluster a sample, write read->label TSV
+    repro diversity FASTA            cluster + richness/diversity report
+    repro beta      FASTA FASTA...   joint clustering + beta-diversity matrix
+    repro stats     FASTA            sequence-set summary statistics
+    repro pig       FASTA            run the Algorithm 3 Pig script end-to-end
+    repro simulate                   modeled runtime for a cluster/input sweep
+    repro bench     {table3,table4,table5,figure2}   regenerate a paper table
+
+Every command prints to stdout; ``cluster`` also writes ``--output``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.harness import ExperimentScale
+from repro.cluster.pipeline import METHODS, MrMCMinH
+from repro.cluster.hierarchical import LINKAGES
+from repro.eval.diversity import (
+    chao1,
+    goods_coverage,
+    rarefaction_curve,
+    shannon_index,
+    simpson_index,
+)
+from repro.seq.fasta import read_fasta
+
+
+def _add_pipeline_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("fasta", help="input FASTA file")
+    parser.add_argument("--kmer", type=int, default=5, help="k-mer size ($KMER)")
+    parser.add_argument(
+        "--hashes", type=int, default=100, help="number of hash functions ($NUMHASH)"
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.9, help="similarity threshold ($CUTOFF)"
+    )
+    parser.add_argument("--method", choices=METHODS, default="hierarchical")
+    parser.add_argument("--linkage", choices=LINKAGES, default="average")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _fit(args) -> tuple:
+    records = read_fasta(args.fasta)
+    model = MrMCMinH(
+        kmer_size=args.kmer,
+        num_hashes=args.hashes,
+        threshold=args.threshold,
+        method=args.method,
+        linkage=args.linkage,
+        seed=args.seed,
+    )
+    return records, model.fit(records)
+
+
+def cmd_cluster(args) -> int:
+    records, run = _fit(args)
+    assignment = run.assignment
+    if args.rescue is not None:
+        from repro.cluster.denoise import rescue_small_clusters
+
+        assignment = rescue_small_clusters(
+            assignment, run.sketches, rescue_threshold=args.rescue
+        )
+    lines = [f"{rid}\t{label}" for rid, label in sorted(assignment.items())]
+    if args.output:
+        with open(args.output, "w", encoding="ascii") as fh:
+            fh.write("\n".join(lines) + "\n")
+    else:
+        print("\n".join(lines))
+    print(
+        f"# {assignment.num_sequences} sequences -> "
+        f"{assignment.num_clusters} clusters "
+        f"({run.wall_seconds:.2f}s)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_stats(args) -> int:
+    from repro.seq.stats import length_histogram, sequence_set_stats
+
+    records = read_fasta(args.fasta)
+    stats = sequence_set_stats(records)
+    print(stats.describe())
+    print("length histogram:")
+    for start, stop, count in length_histogram(records):
+        bar = "#" * max(1, int(50 * count / max(1, stats.count)))
+        print(f"  {start:6d}-{stop:6d}  {count:6d}  {bar}")
+    return 0
+
+
+def cmd_beta(args) -> int:
+    from repro.eval.beta import beta_diversity_matrix, otu_table
+    from repro.eval.report import Table
+    from repro.seq.records import SequenceRecord
+
+    reads = []
+    sample_of = {}
+    for path in args.fastas:
+        sample_records = read_fasta(path)
+        for r in sample_records:
+            record = SequenceRecord(f"{path}:{r.read_id}", r.sequence, r.header)
+            reads.append(record)
+            sample_of[record.read_id] = path
+    model = MrMCMinH(
+        kmer_size=args.kmer,
+        num_hashes=args.hashes,
+        threshold=args.threshold,
+        method=args.method,
+        seed=args.seed,
+    )
+    run = model.fit(reads)
+    tables = otu_table(run.assignment, sample_of)
+    ids, matrix = beta_diversity_matrix(tables, metric=args.metric)
+    table = Table(title=f"Beta diversity ({args.metric})", columns=["Sample"] + ids)
+    for i, sid in enumerate(ids):
+        table.add_row(sid, *[round(v, 3) for v in matrix[i]])
+    print(table.render())
+    return 0
+
+
+def cmd_diversity(args) -> int:
+    _records, run = _fit(args)
+    a = run.assignment
+    print(f"sequences:        {a.num_sequences}")
+    print(f"OTUs observed:    {a.num_clusters}")
+    print(f"Chao1 richness:   {chao1(a):.1f}")
+    print(f"Shannon index:    {shannon_index(a):.3f}")
+    print(f"Simpson index:    {simpson_index(a):.3f}")
+    print(f"Good's coverage:  {goods_coverage(a):.3f}")
+    print("rarefaction:")
+    for depth, expected in rarefaction_curve(a):
+        print(f"  {depth:8d} reads -> {expected:8.1f} OTUs")
+    return 0
+
+
+def cmd_pig(args) -> int:
+    from repro.mapreduce.hdfs import SimulatedHDFS
+    from repro.pig import MRMC_MINH_SCRIPT, PigEngine, default_params
+
+    with open(args.fasta, "r", encoding="ascii") as fh:
+        text = fh.read()
+    hdfs = SimulatedHDFS(num_datanodes=args.nodes)
+    hdfs.put("/input.fa", text)
+    params = default_params(
+        input_path="/input.fa",
+        kmer=args.kmer,
+        num_hashes=args.hashes,
+        cutoff=args.threshold,
+        link=args.linkage,
+    )
+    result = PigEngine(hdfs).run(MRMC_MINH_SCRIPT, params)
+    print("jobs:", ", ".join(t.job_name for t in result.traces))
+    for path in ("/out/hier", "/out/greedy"):
+        lines = hdfs.get_text(path).strip().splitlines()
+        labels = {line.split("\t")[1] for line in lines}
+        print(f"{path}: {len(lines)} sequences, {len(labels)} clusters")
+        if args.show:
+            print("\n".join(lines))
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    from repro.bench.figures import run_figure2
+
+    table, _result = run_figure2(
+        node_counts=tuple(args.nodes_list),
+        read_counts=tuple(args.reads_list),
+        scale=ExperimentScale(num_reads=args.calibration_reads, genome_length=5000),
+    )
+    print(table.render())
+    return 0
+
+
+def cmd_bench(args) -> int:
+    scale = ExperimentScale(
+        num_reads=args.reads,
+        genome_length=5000,
+        min_cluster_size=2,
+        max_pairs_per_cluster=20,
+    )
+    if args.target == "table3":
+        from repro.bench.tables import run_table3
+
+        table, _results = run_table3(scale, samples=tuple(args.samples or ("S1", "S8", "R1")))
+    elif args.target == "table4":
+        from repro.bench.tables import run_table4
+
+        table, _results = run_table4(scale)
+    elif args.target == "table5":
+        from repro.bench.tables import run_table5
+
+        table, _results = run_table5(scale, samples=tuple(args.samples or ("53R", "FS312")))
+    else:
+        from repro.bench.figures import run_figure2
+
+        table, _results = run_figure2(scale=scale)
+    print(table.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MrMC-MinH: Map-Reduce clustering of metagenomes",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("cluster", help="cluster a FASTA sample")
+    _add_pipeline_args(p)
+    p.add_argument("--output", help="write read\\tlabel TSV here (default stdout)")
+    p.add_argument(
+        "--rescue", type=float, default=None, metavar="THETA2",
+        help="re-attach singletons to large clusters at this lower threshold",
+    )
+    p.set_defaults(fn=cmd_cluster)
+
+    p = sub.add_parser("stats", help="sequence-set summary statistics")
+    p.add_argument("fasta", help="input FASTA file")
+    p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser("beta", help="beta diversity across samples")
+    p.add_argument("fastas", nargs="+", help="one FASTA per sample (>= 2)")
+    p.add_argument("--kmer", type=int, default=15)
+    p.add_argument("--hashes", type=int, default=50)
+    p.add_argument("--threshold", type=float, default=0.95)
+    p.add_argument("--method", choices=METHODS, default="hierarchical")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--metric", choices=["bray-curtis", "jaccard", "morisita-horn"],
+        default="bray-curtis",
+    )
+    p.set_defaults(fn=cmd_beta)
+
+    p = sub.add_parser("diversity", help="cluster + diversity report")
+    _add_pipeline_args(p)
+    p.set_defaults(fn=cmd_diversity)
+
+    p = sub.add_parser("pig", help="run the Algorithm 3 Pig script")
+    _add_pipeline_args(p)
+    p.add_argument("--nodes", type=int, default=4, help="simulated HDFS datanodes")
+    p.add_argument("--show", action="store_true", help="print all output rows")
+    p.set_defaults(fn=cmd_pig)
+
+    p = sub.add_parser("simulate", help="modeled runtime sweep (Figure 2)")
+    p.add_argument(
+        "--nodes-list", type=int, nargs="+", default=[2, 4, 6, 8, 10, 12]
+    )
+    p.add_argument(
+        "--reads-list", type=int, nargs="+",
+        default=[1_000, 10_000, 100_000, 1_000_000, 10_000_000],
+    )
+    p.add_argument("--calibration-reads", type=int, default=150)
+    p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser("bench", help="regenerate one paper table/figure")
+    p.add_argument("target", choices=["table3", "table4", "table5", "figure2"])
+    p.add_argument("--reads", type=int, default=120, help="reads per sample")
+    p.add_argument("--samples", nargs="*", help="sample SIDs (table3/table5)")
+    p.set_defaults(fn=cmd_bench)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

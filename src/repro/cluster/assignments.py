@@ -1,0 +1,158 @@
+"""Cluster-assignment result type.
+
+The paper's output is "cluster label for each sequence" stored back to
+HDFS; :class:`ClusterAssignment` is that mapping plus the bookkeeping the
+evaluation metrics need (sizes, members, minimum-size filtering — the
+paper reports metrics over clusters with more than 50 sequences).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Mapping
+
+from repro.errors import ClusteringError
+
+
+class ClusterAssignment(Mapping):
+    """Immutable mapping ``read_id -> cluster label`` with cluster views."""
+
+    def __init__(self, labels: Mapping[str, int]):
+        if not labels:
+            raise ClusteringError("a clustering must assign at least one sequence")
+        for read_id, label in labels.items():
+            if not isinstance(label, int) or label < 0:
+                raise ClusteringError(
+                    f"label for {read_id!r} must be a non-negative int, got {label!r}"
+                )
+        self._labels = dict(labels)
+        members: dict[int, list[str]] = {}
+        for read_id, label in self._labels.items():
+            members.setdefault(label, []).append(read_id)
+        self._members = {k: tuple(v) for k, v in members.items()}
+
+    # -- Mapping protocol ---------------------------------------------------
+
+    def __getitem__(self, read_id: str) -> int:
+        return self._labels[read_id]
+
+    def __iter__(self):
+        return iter(self._labels)
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    # -- cluster views --------------------------------------------------------
+
+    @property
+    def num_clusters(self) -> int:
+        """Number of distinct clusters."""
+        return len(self._members)
+
+    @property
+    def num_sequences(self) -> int:
+        """Number of assigned sequences."""
+        return len(self._labels)
+
+    def members(self, label: int) -> tuple[str, ...]:
+        """Read ids assigned to cluster ``label``."""
+        if label not in self._members:
+            raise ClusteringError(f"no cluster with label {label}")
+        return self._members[label]
+
+    def clusters(self) -> dict[int, tuple[str, ...]]:
+        """All clusters as ``{label: (read ids...)}``."""
+        return dict(self._members)
+
+    def sizes(self) -> dict[int, int]:
+        """Cluster sizes as ``{label: count}``."""
+        return {label: len(ids) for label, ids in self._members.items()}
+
+    def size_histogram(self) -> Counter:
+        """``Counter`` over cluster sizes (diversity-style summaries)."""
+        return Counter(self.sizes().values())
+
+    def filter_min_size(self, min_size: int) -> "ClusterAssignment":
+        """Clustering restricted to clusters of at least ``min_size``
+        members (the paper filters at > 50 for reported metrics).
+
+        Raises when nothing survives — metrics over an empty clustering
+        are undefined.
+        """
+        if min_size < 1:
+            raise ClusteringError(f"min_size must be >= 1, got {min_size}")
+        kept = {
+            read_id: label
+            for label, ids in self._members.items()
+            if len(ids) >= min_size
+            for read_id in ids
+        }
+        if not kept:
+            raise ClusteringError(
+                f"no cluster has at least {min_size} members"
+            )
+        return ClusterAssignment(kept)
+
+    def relabeled(self) -> "ClusterAssignment":
+        """Copy with labels renumbered densely by decreasing cluster size
+        (ties broken by smallest member id for determinism)."""
+        order = sorted(
+            self._members.items(), key=lambda kv: (-len(kv[1]), min(kv[1]))
+        )
+        mapping = {old: new for new, (old, _) in enumerate(order)}
+        return ClusterAssignment(
+            {read_id: mapping[label] for read_id, label in self._labels.items()}
+        )
+
+    @classmethod
+    def from_labels(
+        cls, read_ids: Iterable[str], labels: Iterable[int]
+    ) -> "ClusterAssignment":
+        """Build from parallel id/label sequences."""
+        read_ids = list(read_ids)
+        labels = list(labels)
+        if len(read_ids) != len(labels):
+            raise ClusteringError(
+                f"{len(read_ids)} read ids but {len(labels)} labels"
+            )
+        if len(set(read_ids)) != len(read_ids):
+            raise ClusteringError("read ids must be unique")
+        return cls(dict(zip(read_ids, labels)))
+
+    # -- persistence --------------------------------------------------------
+
+    def to_tsv(self) -> str:
+        """Render as ``read_id<TAB>label`` lines (the paper's HDFS output
+        format), sorted by read id."""
+        return "\n".join(
+            f"{read_id}\t{label}" for read_id, label in sorted(self._labels.items())
+        ) + "\n"
+
+    @classmethod
+    def from_tsv(cls, text: str) -> "ClusterAssignment":
+        """Parse the :meth:`to_tsv` format."""
+        labels: dict[str, int] = {}
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if not line.strip():
+                continue
+            parts = line.split("\t")
+            if len(parts) != 2:
+                raise ClusteringError(
+                    f"line {lineno}: expected 'read_id<TAB>label', got {line!r}"
+                )
+            read_id, raw = parts
+            if read_id in labels:
+                raise ClusteringError(f"line {lineno}: duplicate read id {read_id!r}")
+            try:
+                labels[read_id] = int(raw)
+            except ValueError:
+                raise ClusteringError(
+                    f"line {lineno}: label {raw!r} is not an integer"
+                ) from None
+        return cls(labels)
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterAssignment({self.num_sequences} sequences, "
+            f"{self.num_clusters} clusters)"
+        )

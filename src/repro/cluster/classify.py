@@ -1,0 +1,172 @@
+"""Taxonomic classification of clusters against a reference database.
+
+The downstream step the paper's introduction motivates: 16S clusters are
+assigned "within different taxonomical groups" by comparing against known
+marker genes.  Each cluster's medoid is scored against every reference,
+labelled with the best reference above ``min_similarity``, or flagged as
+an **orphan** ("unique species ... never been sequenced before") below it.
+
+Two scoring modes:
+
+* ``containment`` (default when records are supplied) — exact
+  ``|query k-mers ∩ reference k-mers| / |query k-mers|``.  Symmetric
+  Jaccard collapses when a 60–100 bp amplicon is compared against a
+  1.5 kb gene (the intersection is bounded by the tiny query);
+  containment is the standard fix for short-query-vs-long-reference.
+* ``sketch`` — estimated Jaccard between min-hash sketches; appropriate
+  when queries and references have comparable lengths.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.errors import ClusteringError, SketchError
+from repro.cluster.assignments import ClusterAssignment
+from repro.cluster.representatives import select_representatives
+from repro.minhash.sketch import (
+    MinHashSketch,
+    SketchingConfig,
+    compute_sketch,
+)
+from repro.minhash.similarity import estimate_jaccard
+from repro.seq.kmers import kmer_set
+from repro.seq.records import SequenceRecord
+
+
+@dataclass(frozen=True)
+class Classification:
+    """Outcome for one cluster."""
+
+    cluster: int
+    reference: str | None  # None = orphan
+    similarity: float
+    representative: str
+
+    @property
+    def is_orphan(self) -> bool:
+        return self.reference is None
+
+
+class ReferenceDb:
+    """Sketched reference sequences sharing the query hash family."""
+
+    def __init__(
+        self,
+        references: Mapping[str, str] | Sequence[tuple[str, str]],
+        config: SketchingConfig,
+    ):
+        items = (
+            list(references.items())
+            if isinstance(references, Mapping)
+            else list(references)
+        )
+        if not items:
+            raise ClusteringError("reference database is empty")
+        names = [name for name, _ in items]
+        if len(set(names)) != len(names):
+            raise ClusteringError("reference names must be unique")
+        self.config = config
+        family = config.make_family()
+        self._sketches: dict[str, MinHashSketch] = {}
+        self._kmer_sets: dict[str, frozenset[int]] = {}
+        for name, sequence in items:
+            record = SequenceRecord(read_id=name, sequence=sequence)
+            try:
+                self._sketches[name] = compute_sketch(record, config, family)
+            except SketchError as exc:
+                raise ClusteringError(
+                    f"reference {name!r} cannot be sketched: {exc}"
+                ) from exc
+            self._kmer_sets[name] = frozenset(
+                kmer_set(sequence, config.kmer_size, strict=False).tolist()
+            )
+
+    def __len__(self) -> int:
+        return len(self._sketches)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sketches
+
+    def best_match(
+        self, sketch: MinHashSketch, *, estimator: str = "positional"
+    ) -> tuple[str, float]:
+        """Best-scoring reference for a query sketch (Jaccard estimate)."""
+        best_name = ""
+        best_sim = -1.0
+        for name in sorted(self._sketches):
+            sim = estimate_jaccard(sketch, self._sketches[name], estimator=estimator)
+            if sim > best_sim:
+                best_name, best_sim = name, sim
+        return best_name, best_sim
+
+    def best_containment(self, sequence: str) -> tuple[str, float]:
+        """Best reference by exact k-mer containment of the query."""
+        query = frozenset(
+            kmer_set(sequence, self.config.kmer_size, strict=False).tolist()
+        )
+        if not query:
+            raise ClusteringError(
+                f"query too short for {self.config.kmer_size}-mers"
+            )
+        best_name = ""
+        best_sim = -1.0
+        for name in sorted(self._kmer_sets):
+            sim = len(query & self._kmer_sets[name]) / len(query)
+            if sim > best_sim:
+                best_name, best_sim = name, sim
+        return best_name, best_sim
+
+
+def classify_clusters(
+    assignment: ClusterAssignment,
+    sketches: Sequence[MinHashSketch],
+    references: ReferenceDb,
+    *,
+    min_similarity: float = 0.5,
+    estimator: str = "positional",
+    records: Sequence[SequenceRecord] | None = None,
+) -> dict[int, Classification]:
+    """Classify every cluster by its medoid's best reference match.
+
+    When ``records`` are supplied, exact k-mer **containment** scores the
+    medoid sequence against each reference (right for short reads vs
+    full-length genes); otherwise the sketch Jaccard estimate is used.
+    Clusters whose best match falls below ``min_similarity`` are orphans.
+    """
+    if not 0.0 <= min_similarity <= 1.0:
+        raise ClusteringError(
+            f"min_similarity must be in [0,1], got {min_similarity}"
+        )
+    by_id = {s.read_id: s for s in sketches}
+    sequences = {r.read_id: r.sequence for r in records} if records else None
+    reps = select_representatives(assignment, sketches, policy="medoid")
+    out: dict[int, Classification] = {}
+    for label, rep_id in sorted(reps.items()):
+        if sequences is not None:
+            if rep_id not in sequences:
+                raise ClusteringError(f"no record for representative {rep_id!r}")
+            name, sim = references.best_containment(sequences[rep_id])
+        else:
+            name, sim = references.best_match(by_id[rep_id], estimator=estimator)
+        out[label] = Classification(
+            cluster=label,
+            reference=name if sim >= min_similarity else None,
+            similarity=sim,
+            representative=rep_id,
+        )
+    return out
+
+
+def classification_summary(
+    classifications: Mapping[int, Classification],
+    assignment: ClusterAssignment,
+) -> dict[str, int]:
+    """Reads per assigned reference (orphans under ``"<orphan>"``)."""
+    sizes = assignment.sizes()
+    out: dict[str, int] = {}
+    for label, c in classifications.items():
+        key = c.reference if c.reference is not None else "<orphan>"
+        out[key] = out.get(key, 0) + sizes[label]
+    return out

@@ -1,0 +1,106 @@
+"""Cluster consensus sequences.
+
+OTU pipelines publish a *consensus* per cluster rather than a raw member
+read: errors are random, so the per-column majority over member reads
+cancels them.  We build a star alignment — every member globally aligned
+to the cluster medoid — and vote per medoid column (insertions relative
+to the medoid are dropped; deletions vote for a gap, and a gap majority
+removes the column).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Mapping, Sequence
+
+from repro.errors import ClusteringError
+from repro.align.global_align import global_align
+from repro.cluster.assignments import ClusterAssignment
+from repro.cluster.representatives import select_representatives
+from repro.minhash.sketch import MinHashSketch
+
+
+def consensus_sequence(
+    member_sequences: Sequence[str],
+    *,
+    reference: str | None = None,
+) -> str:
+    """Majority-vote consensus of a set of sequences.
+
+    ``reference`` anchors the star alignment (defaults to the first
+    sequence).  Columns where a gap wins the vote are removed.
+    """
+    if not member_sequences:
+        raise ClusteringError("cannot build a consensus of no sequences")
+    anchor = reference if reference is not None else member_sequences[0]
+    if not anchor:
+        raise ClusteringError("anchor sequence is empty")
+    votes: list[Counter] = [Counter() for _ in range(len(anchor))]
+    for seq in member_sequences:
+        if seq == anchor:
+            for i, ch in enumerate(anchor):
+                votes[i][ch] += 1
+            continue
+        result = global_align(anchor, seq)
+        column = 0
+        for a_ch, b_ch in zip(result.aligned_a, result.aligned_b):
+            if a_ch == "-":
+                continue  # insertion relative to the anchor: dropped
+            votes[column][b_ch] += 1  # b_ch may be "-" (deletion vote)
+            column += 1
+    out = []
+    for counter in votes:
+        base, _count = counter.most_common(1)[0]
+        if base != "-":
+            out.append(base)
+    if not out:
+        raise ClusteringError("consensus collapsed to an empty sequence")
+    return "".join(out)
+
+
+def cluster_consensus(
+    assignment: ClusterAssignment,
+    sequences: Mapping[str, str],
+    sketches: Sequence[MinHashSketch] | None = None,
+    *,
+    min_size: int = 2,
+    max_members: int = 30,
+) -> dict[int, str]:
+    """Consensus sequence per cluster of at least ``min_size`` members.
+
+    The medoid (when sketches are given) anchors each star alignment;
+    ``max_members`` bounds the per-cluster alignment cost by sampling the
+    first members in sorted id order.
+    """
+    if min_size < 1:
+        raise ClusteringError(f"min_size must be >= 1, got {min_size}")
+    if max_members < 1:
+        raise ClusteringError(f"max_members must be >= 1, got {max_members}")
+    anchors: dict[int, str] = {}
+    if sketches is not None:
+        big = {
+            read_id: label
+            for label, members in assignment.clusters().items()
+            if len(members) >= min_size
+            for read_id in members
+        }
+        if big:
+            reps = select_representatives(
+                ClusterAssignment(big), sketches, policy="medoid"
+            )
+            anchors = {label: rep for label, rep in reps.items()}
+
+    out: dict[int, str] = {}
+    for label, members in sorted(assignment.clusters().items()):
+        if len(members) < min_size:
+            continue
+        members = sorted(members)[:max_members]
+        missing = [m for m in members if m not in sequences]
+        if missing:
+            raise ClusteringError(f"no sequence for {missing[0]!r}")
+        anchor_id = anchors.get(label)
+        anchor = sequences[anchor_id] if anchor_id in sequences else None
+        out[label] = consensus_sequence(
+            [sequences[m] for m in members], reference=anchor
+        )
+    return out

@@ -1,0 +1,79 @@
+"""Post-clustering denoising: singleton rescue.
+
+Sequencing errors strand reads in singleton clusters (the dominant
+failure mode visible in the Table IV/V benchmarks: errored reads fall
+below θ against every clean read).  The standard OTU-pipeline remedy is a
+second, more permissive pass that re-attaches small clusters to their
+nearest large cluster — implemented here over sketches, so it costs one
+comparison per (small cluster, large-cluster representative) pair.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+from repro.errors import ClusteringError
+from repro.cluster.assignments import ClusterAssignment
+from repro.cluster.representatives import select_representatives
+from repro.minhash.sketch import MinHashSketch
+from repro.minhash.similarity import estimate_jaccard
+
+
+def rescue_small_clusters(
+    assignment: ClusterAssignment,
+    sketches: Sequence[MinHashSketch],
+    *,
+    rescue_threshold: float,
+    max_size: int = 1,
+    estimator: str = "positional",
+) -> ClusterAssignment:
+    """Re-attach clusters of at most ``max_size`` members to the nearest
+    large cluster when the (representative-level) similarity reaches
+    ``rescue_threshold``.
+
+    ``rescue_threshold`` should sit *below* the clustering θ — that gap
+    is what lets errored reads rejoin their template's cluster.  Small
+    clusters that match no large cluster stay as they are.  Returns a new
+    assignment; label identity of large clusters is preserved.
+    """
+    if not 0.0 <= rescue_threshold <= 1.0:
+        raise ClusteringError(
+            f"rescue_threshold must be in [0,1], got {rescue_threshold}"
+        )
+    if max_size < 1:
+        raise ClusteringError(f"max_size must be >= 1, got {max_size}")
+    by_id = {s.read_id: s for s in sketches}
+    missing = [r for r in assignment if r not in by_id]
+    if missing:
+        raise ClusteringError(f"no sketch for {missing[0]!r}")
+
+    sizes = assignment.sizes()
+    large = {label for label, size in sizes.items() if size > max_size}
+    small = {label for label in sizes if label not in large}
+    if not large or not small:
+        return assignment
+
+    large_assignment = ClusterAssignment(
+        {r: lbl for r, lbl in assignment.items() if lbl in large}
+    )
+    reps = select_representatives(large_assignment, sketches, policy="medoid")
+
+    relabel: dict[str, int] = dict(assignment)
+    for label in sorted(small):
+        members = assignment.members(label)
+        # Score the small cluster's own medoid-ish member (first sorted)
+        # against every large representative.
+        probe = by_id[sorted(members)[0]]
+        best_label = -1
+        best_sim = rescue_threshold
+        for big_label, rep_id in sorted(reps.items()):
+            sim = estimate_jaccard(probe, by_id[rep_id], estimator=estimator)
+            # First label to reach the threshold wins ties (deterministic).
+            if sim > best_sim or (best_label < 0 and sim >= best_sim):
+                best_sim = sim
+                best_label = big_label
+        if best_label >= 0:
+            for member in members:
+                relabel[member] = best_label
+    return ClusterAssignment(relabel)

@@ -1,0 +1,222 @@
+"""Agglomerative hierarchical clustering — Algorithm 2 (MrMC-MinH^h).
+
+Builds a dendrogram from the all-pairs estimated-Jaccard matrix by
+iteratively merging the most-similar pair under the chosen linkage policy
+(single, average or complete — the paper's ``$LINK`` parameter), and cuts
+it at the similarity threshold θ (``$CUTOFF``): merging stops when no pair
+of clusters is at least θ similar.
+
+Implementation: the classic "generic" agglomerative algorithm with exact
+nearest-neighbour caches — O(N²) memory, roughly O(N²) time with
+vectorised row updates.  Similarity-space Lance-Williams updates:
+
+* single   — ``s_new = max(s_i, s_j)``
+* complete — ``s_new = min(s_i, s_j)``
+* average  — ``s_new = (n_i s_i + n_j s_j) / (n_i + n_j)``
+
+All three linkages are *reducible*, but single linkage can still raise a
+row's best similarity after a merge; the cache update therefore both
+recomputes rows whose cached neighbour died and lifts caches where the
+merged row beats them, keeping the caches exact.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ClusteringError
+from repro.cluster.assignments import ClusterAssignment
+from repro.cluster.dendrogram import Dendrogram, MergeStep
+
+LINKAGES = ("single", "average", "complete")
+
+_NEG = -np.inf
+
+
+def _validate_similarity(similarity: np.ndarray) -> np.ndarray:
+    s = np.asarray(similarity, dtype=np.float64)
+    if s.ndim != 2 or s.shape[0] != s.shape[1]:
+        raise ClusteringError(f"similarity must be square, got shape {s.shape}")
+    if s.shape[0] < 1:
+        raise ClusteringError("similarity matrix is empty")
+    if not np.allclose(s, s.T, atol=1e-8):
+        raise ClusteringError("similarity matrix must be symmetric")
+    if np.any(s < -1e-9) or np.any(s > 1 + 1e-9):
+        raise ClusteringError("similarities must lie in [0, 1]")
+    return s.copy()
+
+
+def build_dendrogram(
+    similarity: np.ndarray,
+    *,
+    linkage: str = "average",
+    stop_threshold: float | None = None,
+) -> Dendrogram:
+    """Agglomerate a similarity matrix into a dendrogram.
+
+    Parameters
+    ----------
+    similarity:
+        Symmetric ``(N, N)`` matrix of similarities in [0, 1]; the
+        diagonal is ignored.
+    linkage:
+        One of :data:`LINKAGES`.
+    stop_threshold:
+        When given, stop once the best available merge similarity drops
+        below it (the paper's θ cutoff applied during construction — the
+        resulting partial dendrogram's active clusters are the final
+        clustering).  ``None`` builds the complete dendrogram.
+    """
+    if linkage not in LINKAGES:
+        raise ClusteringError(
+            f"unknown linkage {linkage!r}; expected one of {LINKAGES}"
+        )
+    if stop_threshold is not None and not 0.0 <= stop_threshold <= 1.0:
+        raise ClusteringError(
+            f"stop_threshold must be in [0,1], got {stop_threshold}"
+        )
+    s = _validate_similarity(similarity)
+    n = s.shape[0]
+    dendrogram = Dendrogram(n)
+    if n == 1:
+        return dendrogram
+
+    np.fill_diagonal(s, _NEG)
+    active = np.ones(n, dtype=bool)
+    sizes = np.ones(n, dtype=np.int64)
+    cluster_ids = np.arange(n, dtype=np.int64)  # dendrogram id living in each slot
+
+    nn_idx = np.argmax(s, axis=1)
+    nn_sim = s[np.arange(n), nn_idx]
+
+    for step in range(n - 1):
+        # Best merge among active slots.
+        masked = np.where(active, nn_sim, _NEG)
+        i = int(np.argmax(masked))
+        best = masked[i]
+        if best == _NEG:
+            break
+        if stop_threshold is not None and best < stop_threshold:
+            break
+        j = int(nn_idx[i])
+        if i > j:
+            i, j = j, i
+
+        si, sj = s[i], s[j]
+        ni, nj = sizes[i], sizes[j]
+        if linkage == "single":
+            merged = np.maximum(si, sj)
+        elif linkage == "complete":
+            merged = np.minimum(si, sj)
+        else:  # average
+            merged = (ni * si + nj * sj) / (ni + nj)
+
+        new_id = n + step
+        dendrogram.append(
+            MergeStep(
+                left=int(cluster_ids[i]),
+                right=int(cluster_ids[j]),
+                similarity=float(best),
+                size=int(ni + nj),
+            )
+        )
+
+        # Merged cluster lives in slot i; slot j dies.
+        merged[i] = _NEG
+        merged[~active] = _NEG
+        s[i, :] = merged
+        s[:, i] = merged
+        s[j, :] = _NEG
+        s[:, j] = _NEG
+        active[j] = False
+        sizes[i] = ni + nj
+        cluster_ids[i] = new_id
+        nn_sim[j] = _NEG
+
+        if not np.any(active & (np.arange(n) != i)):
+            break
+
+        # Exact cache maintenance:
+        # (1) slot i gets a fresh neighbour;
+        nn_idx[i] = int(np.argmax(s[i]))
+        nn_sim[i] = s[i, nn_idx[i]]
+        # (2) rows whose cached neighbour was i or j recompute;
+        stale = active & ((nn_idx == i) | (nn_idx == j))
+        stale[i] = False
+        for m in np.flatnonzero(stale):
+            nn_idx[m] = int(np.argmax(s[m]))
+            nn_sim[m] = s[m, nn_idx[m]]
+        # (3) rows where the merged cluster now beats the cache are lifted
+        #     (single linkage can increase similarities).
+        col = s[:, i]
+        lift = active & (col > nn_sim)
+        lift[i] = False
+        nn_sim[lift] = col[lift]
+        nn_idx[lift] = i
+
+    return dendrogram
+
+
+def cut_dendrogram(dendrogram: Dendrogram, threshold: float) -> list[int]:
+    """Labels for the dendrogram's leaves after cutting at similarity
+    ``threshold`` (apply only merges with similarity >= threshold)."""
+    if not 0.0 <= threshold <= 1.0:
+        raise ClusteringError(f"threshold must be in [0,1], got {threshold}")
+    return dendrogram.cut(threshold)
+
+
+def multi_threshold_cut(
+    dendrogram: Dendrogram,
+    read_ids: Sequence[str],
+    thresholds: Sequence[float],
+) -> dict[float, ClusterAssignment]:
+    """Cut one dendrogram at several thresholds.
+
+    The paper: "Clustering results at different hierarchical taxonomic
+    levels are also produced by setting similarity threshold within a
+    cluster" — one dendrogram build serves every taxonomic level.  The
+    dendrogram must have been built without a ``stop_threshold`` (or with
+    one at or below ``min(thresholds)``), otherwise low-threshold cuts
+    would be missing merges.
+
+    Returns ``{threshold: assignment}``; cuts are nested (every cluster
+    at a lower threshold is a union of clusters at any higher one).
+    """
+    if not thresholds:
+        raise ClusteringError("multi_threshold_cut needs at least one threshold")
+    if len(read_ids) != dendrogram.num_leaves:
+        raise ClusteringError(
+            f"{len(read_ids)} read ids for a {dendrogram.num_leaves}-leaf "
+            "dendrogram"
+        )
+    out: dict[float, ClusterAssignment] = {}
+    for theta in thresholds:
+        if not 0.0 <= theta <= 1.0:
+            raise ClusteringError(f"threshold must be in [0,1], got {theta}")
+        labels = dendrogram.cut(theta)
+        out[theta] = ClusterAssignment.from_labels(read_ids, labels)
+    return out
+
+
+def agglomerative_cluster(
+    similarity: np.ndarray,
+    read_ids: Sequence[str],
+    threshold: float,
+    *,
+    linkage: str = "average",
+) -> ClusterAssignment:
+    """End-to-end Algorithm 2: matrix -> dendrogram -> θ cut -> labels."""
+    similarity = np.asarray(similarity)
+    if len(read_ids) != similarity.shape[0]:
+        raise ClusteringError(
+            f"{len(read_ids)} read ids for a {similarity.shape[0]}-row matrix"
+        )
+    if not 0.0 <= threshold <= 1.0:
+        raise ClusteringError(f"threshold must be in [0,1], got {threshold}")
+    dendrogram = build_dendrogram(
+        similarity, linkage=linkage, stop_threshold=threshold
+    )
+    labels = dendrogram.cut(threshold)
+    return ClusterAssignment.from_labels(read_ids, labels)

@@ -1,0 +1,344 @@
+"""End-to-end MrMC-MinH pipeline (Figure 1 / Algorithm 3).
+
+:class:`MrMCMinH` is the library's headline API.  It chains the Map-Reduce
+stages of the paper — FASTA load, integer encoding + k-merization +
+min-hash sketching (one map job), row-partitioned all-pairs similarity
+(hierarchical variant), and the clustering step — and returns cluster
+assignments plus the execution traces the cluster simulator consumes.
+
+Example::
+
+    from repro import MrMCMinH, read_fasta
+    model = MrMCMinH(kmer_size=5, num_hashes=100, threshold=0.9,
+                     method="hierarchical", linkage="average")
+    run = model.fit(read_fasta("sample.fa"))
+    print(run.assignment.num_clusters)
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ClusteringError, SketchError
+from repro.cluster.assignments import ClusterAssignment
+from repro.cluster.greedy import greedy_cluster
+from repro.cluster.hierarchical import LINKAGES, agglomerative_cluster
+from repro.cluster.matrix import compute_similarity_matrix
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.hdfs import SimulatedHDFS
+from repro.mapreduce.job import MapReduceJob, identity_reducer
+from repro.mapreduce.runner import SerialRunner
+from repro.mapreduce.types import JobConf, JobTrace, TaskTrace
+from repro.minhash.sketch import MinHashSketch, SketchingConfig, compute_sketch
+from repro.seq.fasta import format_fasta
+from repro.seq.records import SequenceRecord
+
+METHODS = ("greedy", "hierarchical")
+
+
+class _SketchMapper:
+    """Picklable mapper: encode -> k-merize -> min-hash one record.
+
+    Combines the paper's ``StringGenerator``, ``TranslateToKmer`` and
+    ``CalculateMinwiseHash`` UDFs into one map stage (they are row-wise
+    ``FOREACH`` steps that Pig would fuse into a single map task anyway).
+    """
+
+    def __init__(self, config: SketchingConfig):
+        self.config = config
+        self.family = config.make_family()
+
+    def __call__(self, key, value):
+        read_id, sequence = value
+        record = SequenceRecord(read_id=read_id, sequence=sequence)
+        try:
+            sketch = compute_sketch(record, self.config, self.family)
+        except SketchError:
+            return  # reads shorter than k are dropped, as in real pipelines
+        yield key, sketch
+
+
+@dataclass
+class ClusteringRun:
+    """Everything produced by one pipeline execution."""
+
+    assignment: ClusterAssignment
+    sketches: list[MinHashSketch]
+    similarity: np.ndarray | None
+    traces: list[JobTrace]
+    timings: dict[str, float]
+    counters: Counters = field(default_factory=Counters)
+
+    @property
+    def wall_seconds(self) -> float:
+        """Total measured wall-clock across pipeline stages."""
+        return sum(self.timings.values())
+
+
+class MrMCMinH:
+    """The paper's clustering framework.
+
+    Parameters
+    ----------
+    kmer_size, num_hashes:
+        Sketching parameters ``k`` and ``n`` (``$KMER`` / ``$NUMHASH``).
+        Paper settings: (5, 100) for whole-metagenome, (15, 50) for 16S.
+    threshold:
+        Similarity threshold θ (``$CUTOFF``).
+    method:
+        ``"hierarchical"`` (MrMC-MinH^h, Algorithm 2) or ``"greedy"``
+        (MrMC-MinH^g, Algorithm 1).
+    linkage:
+        ``$LINK`` for the hierarchical method: single/average/complete.
+    estimator:
+        Sketch-comparison estimator; defaults to the paper-literal choice
+        per method ("set" for greedy, "positional" for the matrix).
+    seed:
+        Hash-family seed.
+    runner:
+        Map-Reduce runner (defaults to a traced
+        :class:`~repro.mapreduce.runner.SerialRunner`).
+    num_map_tasks:
+        Parallelism of the sketch and similarity jobs.
+    sparse:
+        Use the min-hash collision join instead of the dense all-pairs
+        job (see :mod:`repro.cluster.sparse`).  Exact for
+        ``method="greedy"`` with the positional estimator and for
+        ``method="hierarchical"`` with ``linkage="single"`` — the two
+        shapes that scale to paper-sized inputs; other combinations
+        reject the flag.
+    """
+
+    def __init__(
+        self,
+        *,
+        kmer_size: int = 5,
+        num_hashes: int = 100,
+        threshold: float = 0.9,
+        method: str = "hierarchical",
+        linkage: str = "average",
+        estimator: str | None = None,
+        seed: int = 0,
+        runner=None,
+        num_map_tasks: int = 4,
+        sparse: bool = False,
+    ):
+        if method not in METHODS:
+            raise ClusteringError(
+                f"unknown method {method!r}; expected one of {METHODS}"
+            )
+        if linkage not in LINKAGES:
+            raise ClusteringError(
+                f"unknown linkage {linkage!r}; expected one of {LINKAGES}"
+            )
+        if not 0.0 <= threshold <= 1.0:
+            raise ClusteringError(f"threshold must be in [0,1], got {threshold}")
+        if num_map_tasks < 1:
+            raise ClusteringError(f"num_map_tasks must be >= 1, got {num_map_tasks}")
+        self.config = SketchingConfig(
+            kmer_size=kmer_size, num_hashes=num_hashes, seed=seed
+        )
+        self.threshold = threshold
+        self.method = method
+        self.linkage = linkage
+        self.estimator = estimator or (
+            "set" if method == "greedy" and not sparse else "positional"
+        )
+        self.runner = runner or SerialRunner()
+        self.num_map_tasks = num_map_tasks
+        self.sparse = sparse
+        if sparse:
+            if threshold <= 0.0:
+                raise ClusteringError("sparse mode requires threshold > 0")
+            if method == "hierarchical" and linkage != "single":
+                raise ClusteringError(
+                    "sparse hierarchical clustering is exact only for "
+                    "single linkage; use linkage='single' or sparse=False"
+                )
+            if method == "greedy" and self.estimator != "positional":
+                raise ClusteringError(
+                    "sparse greedy clustering uses the positional estimator; "
+                    "drop estimator='set' or sparse=False"
+                )
+
+    # ------------------------------------------------------------------ fit
+
+    def fit(self, records: Sequence[SequenceRecord]) -> ClusteringRun:
+        """Cluster a sample of sequence records."""
+        records = list(records)
+        if not records:
+            raise ClusteringError("cannot cluster an empty sample")
+        counters = Counters()
+        traces: list[JobTrace] = []
+        timings: dict[str, float] = {}
+
+        # ---- stage 1: sketch job (encode + k-merize + min-hash) ---------
+        t0 = time.perf_counter()
+        sketch_job = MapReduceJob(
+            name="sketch",
+            mapper=_SketchMapper(self.config),
+            reducer=identity_reducer,
+        )
+        inputs = [(i, (rec.read_id, rec.sequence)) for i, rec in enumerate(records)]
+        result = self.runner.run(
+            sketch_job,
+            inputs,
+            JobConf(num_map_tasks=self.num_map_tasks, num_reduce_tasks=1),
+        )
+        counters.merge(result.counters)
+        if result.trace is not None:
+            traces.append(result.trace)
+        # Output is keyed by input index, so original order is preserved —
+        # the greedy algorithm's "choose the first sequence" depends on it.
+        sketches = [sketch for _, sketch in result.output]
+        timings["sketch"] = time.perf_counter() - t0
+        if not sketches:
+            raise ClusteringError(
+                f"no sequence produced a {self.config.kmer_size}-mer sketch"
+            )
+
+        # ---- stage 2/3: similarity + clustering --------------------------
+        similarity: np.ndarray | None = None
+        if self.sparse:
+            from repro.cluster.sparse import (
+                candidate_pairs_mapreduce,
+                sparse_greedy_cluster,
+                sparse_single_linkage,
+            )
+
+            t0 = time.perf_counter()
+            # Run the collision join through the engine for its trace;
+            # clustering itself consumes the direct API.
+            _pairs, sim_result = candidate_pairs_mapreduce(
+                sketches,
+                runner=self.runner,
+                num_map_tasks=self.num_map_tasks,
+                num_reduce_tasks=self.num_map_tasks,
+            )
+            counters.merge(sim_result.counters)
+            if sim_result.trace is not None:
+                traces.append(sim_result.trace)
+            timings["similarity"] = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            if self.method == "hierarchical":
+                assignment = sparse_single_linkage(sketches, self.threshold)
+            else:
+                assignment = sparse_greedy_cluster(sketches, self.threshold)
+            elapsed = time.perf_counter() - t0
+            timings["cluster"] = elapsed
+            traces.append(_clustering_trace("sparse-cluster", len(sketches), elapsed))
+        elif self.method == "hierarchical":
+            t0 = time.perf_counter()
+            similarity, sim_result = compute_similarity_matrix(
+                sketches,
+                estimator=self.estimator,
+                runner=self.runner,
+                num_tasks=self.num_map_tasks,
+            )
+            counters.merge(sim_result.counters)
+            if sim_result.trace is not None:
+                traces.append(sim_result.trace)
+            timings["similarity"] = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            assignment = agglomerative_cluster(
+                similarity,
+                [s.read_id for s in sketches],
+                self.threshold,
+                linkage=self.linkage,
+            )
+            elapsed = time.perf_counter() - t0
+            timings["cluster"] = elapsed
+            traces.append(_clustering_trace("cluster", len(sketches), elapsed))
+        else:
+            t0 = time.perf_counter()
+            assignment = greedy_cluster(
+                sketches, self.threshold, estimator=self.estimator
+            )
+            elapsed = time.perf_counter() - t0
+            timings["cluster"] = elapsed
+            traces.append(_clustering_trace("greedy-cluster", len(sketches), elapsed))
+
+        counters.increment("pipeline", "sequences_clustered", len(sketches))
+        counters.increment("pipeline", "clusters", assignment.num_clusters)
+        return ClusteringRun(
+            assignment=assignment,
+            sketches=sketches,
+            similarity=similarity,
+            traces=traces,
+            timings=timings,
+            counters=counters,
+        )
+
+    # ------------------------------------------------------- HDFS round-trip
+
+    def fit_hdfs(
+        self,
+        hdfs: SimulatedHDFS,
+        input_path: str,
+        output_path: str,
+    ) -> ClusteringRun:
+        """Full Figure-1 flow: FASTA on HDFS in, cluster labels on HDFS out.
+
+        Input is read the way Hadoop map tasks read it: one split per
+        HDFS block via :class:`~repro.mapreduce.inputformat.FastaInputFormat`
+        (records spanning block boundaries handled by the ownership
+        protocol), with one map task per split so the recorded trace's
+        task count matches the file's block count — which is what the
+        cluster simulator's locality scheduling consumes.
+
+        The output file holds one ``read_id\\tcluster`` line per sequence,
+        the format ``STORE ... INTO '$OUTPUT'`` produces in Algorithm 3.
+        """
+        from repro.mapreduce.inputformat import FastaInputFormat
+
+        fmt = FastaInputFormat(hdfs, input_path)
+        records: list[SequenceRecord] = []
+        for split in range(fmt.num_splits):
+            records.extend(fmt.read_split(split))
+        if not records:
+            raise ClusteringError(f"{input_path!r} contains no FASTA records")
+
+        # One map task per block, as Hadoop would launch.
+        original_tasks = self.num_map_tasks
+        self.num_map_tasks = max(1, fmt.num_splits)
+        try:
+            run = self.fit(records)
+        finally:
+            self.num_map_tasks = original_tasks
+
+        lines = [
+            f"{read_id}\t{run.assignment[read_id]}"
+            for read_id in (r.read_id for r in records)
+            if read_id in run.assignment
+        ]
+        hdfs.put(output_path, "\n".join(lines) + "\n", overwrite=True)
+        return run
+
+    @staticmethod
+    def stage_records(
+        hdfs: SimulatedHDFS, path: str, records: Sequence[SequenceRecord]
+    ) -> None:
+        """Write records to HDFS as FASTA (the pipeline's input format)."""
+        hdfs.put(path, format_fasta(records), overwrite=True)
+
+
+def _clustering_trace(name: str, num_records: int, elapsed: float) -> JobTrace:
+    """Trace for the driver-side clustering stage (single reduce task,
+    matching Pig's GROUP ALL -> one reducer plan)."""
+    trace = JobTrace(job_name=name)
+    trace.reduce_tasks.append(
+        TaskTrace(
+            task_id=f"{name}-r0000",
+            kind="reduce",
+            records_in=num_records,
+            records_out=num_records,
+            cpu_seconds=elapsed,
+        )
+    )
+    return trace

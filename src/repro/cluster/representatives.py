@@ -1,0 +1,99 @@
+"""Cluster-representative selection.
+
+The paper's advantage (iii): binning "serves as a pre-processing step by
+reducing computational complexity within several workflows that analyze
+only cluster representatives, instead of individual sequences".  Two
+policies are provided:
+
+* ``medoid`` — the member with the highest mean estimated-Jaccard
+  similarity to the rest of its cluster (most central);
+* ``longest`` — the longest member (CD-HIT's convention: longest
+  sequences seed clusters).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ClusteringError
+from repro.cluster.assignments import ClusterAssignment
+from repro.minhash.sketch import MinHashSketch
+
+POLICIES = ("medoid", "longest")
+
+
+def select_representatives(
+    assignment: ClusterAssignment,
+    sketches: Sequence[MinHashSketch],
+    *,
+    policy: str = "medoid",
+    sequences: Mapping[str, str] | None = None,
+) -> dict[int, str]:
+    """Pick one representative read id per cluster.
+
+    Parameters
+    ----------
+    sketches:
+        Sketches for (at least) every assigned sequence; required for the
+        ``medoid`` policy.
+    sequences:
+        ``read_id -> sequence`` map; required for the ``longest`` policy.
+
+    Returns
+    -------
+    ``{cluster label: representative read id}``.
+    """
+    if policy not in POLICIES:
+        raise ClusteringError(
+            f"unknown policy {policy!r}; expected one of {POLICIES}"
+        )
+    by_id = {s.read_id: s for s in sketches}
+
+    out: dict[int, str] = {}
+    for label, members in sorted(assignment.clusters().items()):
+        members = sorted(members)
+        if policy == "longest":
+            if sequences is None:
+                raise ClusteringError("policy 'longest' needs sequences")
+            missing = [m for m in members if m not in sequences]
+            if missing:
+                raise ClusteringError(f"no sequence for {missing[0]!r}")
+            out[label] = max(members, key=lambda m: (len(sequences[m]), m))
+            continue
+
+        missing = [m for m in members if m not in by_id]
+        if missing:
+            raise ClusteringError(f"no sketch for {missing[0]!r}")
+        if len(members) == 1:
+            out[label] = members[0]
+            continue
+        matrix = np.vstack([by_id[m].values for m in members])
+        # Mean positional similarity of each member to the others.
+        scores = []
+        for i in range(len(members)):
+            sims = np.mean(matrix == matrix[i], axis=1)
+            scores.append((np.sum(sims) - 1.0) / (len(members) - 1))
+        out[label] = members[int(np.argmax(scores))]
+    return out
+
+
+def representative_records(
+    assignment: ClusterAssignment,
+    sketches: Sequence[MinHashSketch],
+    records: Sequence,
+    *,
+    policy: str = "medoid",
+) -> list:
+    """Return the record objects of each cluster's representative, in
+    cluster-label order (the reduced dataset downstream tools consume)."""
+    sequences = {r.read_id: r.sequence for r in records}
+    reps = select_representatives(
+        assignment, sketches, policy=policy, sequences=sequences
+    )
+    by_id = {r.read_id: r for r in records}
+    missing = [rid for rid in reps.values() if rid not in by_id]
+    if missing:
+        raise ClusteringError(f"no record for representative {missing[0]!r}")
+    return [by_id[reps[label]] for label in sorted(reps)]

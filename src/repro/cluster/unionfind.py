@@ -1,0 +1,75 @@
+"""Disjoint-set forest with union by size and path compression.
+
+Used by the single-linkage fast path and by the MetaCluster baseline's
+merge phase.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ClusteringError
+
+
+class UnionFind:
+    """Classic disjoint-set structure over ``range(n)``."""
+
+    def __init__(self, n: int):
+        if n < 0:
+            raise ClusteringError(f"size must be non-negative, got {n}")
+        self._parent = list(range(n))
+        self._size = [1] * n
+        self._count = n
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    @property
+    def num_sets(self) -> int:
+        """Number of disjoint sets currently represented."""
+        return self._count
+
+    def find(self, x: int) -> int:
+        """Representative of ``x``'s set (with path compression)."""
+        self._check(x)
+        root = x
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[x] != root:
+            self._parent[x], x = root, self._parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of ``a`` and ``b``; False if already joined."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        self._count -= 1
+        return True
+
+    def connected(self, a: int, b: int) -> bool:
+        """True when ``a`` and ``b`` share a set."""
+        return self.find(a) == self.find(b)
+
+    def set_size(self, x: int) -> int:
+        """Size of the set containing ``x``."""
+        return self._size[self.find(x)]
+
+    def labels(self) -> list[int]:
+        """Dense 0-based set labels in first-seen order."""
+        mapping: dict[int, int] = {}
+        out = []
+        for x in range(len(self._parent)):
+            root = self.find(x)
+            if root not in mapping:
+                mapping[root] = len(mapping)
+            out.append(mapping[root])
+        return out
+
+    def _check(self, x: int) -> None:
+        if not 0 <= x < len(self._parent):
+            raise ClusteringError(
+                f"element {x} out of range for UnionFind of size {len(self._parent)}"
+            )

@@ -1,0 +1,62 @@
+"""Dataset simulators reproducing the paper's benchmark inputs.
+
+Real sequencing data (Sogin seawater 16S samples, Huse 16S amplicons,
+Chatterji whole-metagenome mixes, the sharpshooter sample) is not
+redistributable here; these generators synthesise inputs matching the
+*published summary statistics* of each dataset — read counts, lengths,
+GC contents, mixing ratios, taxonomic-rank divergence and error rates —
+per DESIGN.md substitution #2.
+"""
+
+from repro.datasets.taxonomy import (
+    RANKS,
+    RANK_DIVERGENCE,
+    divergence_for_rank,
+    Lineage,
+)
+from repro.datasets.genomes import GenomeSpec, random_genome, mutate_genome
+from repro.datasets.reads import shotgun_reads, sample_community
+from repro.datasets.sixteen_s import SixteenSModel, amplicon_reads
+from repro.datasets.environmental import (
+    SOGIN_SAMPLES,
+    EnvironmentalSampleSpec,
+    generate_environmental_sample,
+)
+from repro.datasets.environmental import spec_by_sid as spec_by_sid_env
+from repro.datasets.whole_metagenome import spec_by_sid as spec_by_sid_wm
+from repro.datasets.whole_metagenome import (
+    WHOLE_METAGENOME_SPECS,
+    WholeMetagenomeSpec,
+    SpeciesSpec,
+    generate_whole_metagenome_sample,
+)
+from repro.datasets.huse import HuseDatasetSpec, generate_huse_dataset
+from repro.datasets.chimera import inject_chimeras, is_chimera, make_chimera
+
+__all__ = [
+    "RANKS",
+    "RANK_DIVERGENCE",
+    "divergence_for_rank",
+    "Lineage",
+    "GenomeSpec",
+    "random_genome",
+    "mutate_genome",
+    "shotgun_reads",
+    "sample_community",
+    "SixteenSModel",
+    "amplicon_reads",
+    "SOGIN_SAMPLES",
+    "EnvironmentalSampleSpec",
+    "generate_environmental_sample",
+    "spec_by_sid_env",
+    "spec_by_sid_wm",
+    "WHOLE_METAGENOME_SPECS",
+    "WholeMetagenomeSpec",
+    "SpeciesSpec",
+    "generate_whole_metagenome_sample",
+    "HuseDatasetSpec",
+    "generate_huse_dataset",
+    "inject_chimeras",
+    "is_chimera",
+    "make_chimera",
+]

@@ -1,0 +1,137 @@
+"""The Table I environmental 16S samples (Sogin et al. seawater data).
+
+The real samples are 454 amplicon libraries from North Atlantic Deep
+Water and Axial Seamount vents; we regenerate synthetic equivalents that
+match the published metadata (sample ids, read counts, ~60 bp mean length)
+and the *rare biosphere* community structure the study is famous for: a
+few abundant OTUs plus a long tail of rare ones, which is what drives the
+~1 cluster per 8–10 reads ratio visible in Table V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.datasets.sixteen_s import SixteenSModel, amplicon_reads
+from repro.seq.error_models import PyrosequencingErrorModel
+from repro.seq.records import SequenceRecord
+from repro.utils.rng import derive_seed, ensure_rng
+
+
+@dataclass(frozen=True)
+class EnvironmentalSampleSpec:
+    """One row of Table I."""
+
+    sid: str
+    site: str
+    latitude: float
+    longitude: float
+    depth_m: int
+    temperature_c: float
+    num_reads: int
+
+
+#: Table I verbatim.
+SOGIN_SAMPLES = (
+    EnvironmentalSampleSpec("53R", "Labrador seawater", 58.300, -29.133, 1400, 3.5, 11218),
+    EnvironmentalSampleSpec("55R", "Oxygen minimum", 58.300, -29.133, 500, 7.1, 8680),
+    EnvironmentalSampleSpec("112R", "Lower deep water", 50.400, -25.000, 4121, 2.3, 11132),
+    EnvironmentalSampleSpec("115R", "Oxygen minimum", 50.400, -25.000, 550, 7.0, 13441),
+    EnvironmentalSampleSpec("137", "Labrador seawater", 60.900, -38.516, 1710, 3.0, 12259),
+    EnvironmentalSampleSpec("138", "Labrador seawater", 60.900, -38.516, 710, 3.5, 11554),
+    EnvironmentalSampleSpec("FS312", "Bag City", 45.916, -129.983, 1529, 31.2, 52569),
+    EnvironmentalSampleSpec("FS396", "Marker 52", 45.943, -129.985, 1537, 24.4, 73657),
+)
+
+
+def spec_by_sid(sid: str) -> EnvironmentalSampleSpec:
+    """Look up a Table I sample by its SID."""
+    for spec in SOGIN_SAMPLES:
+        if spec.sid == sid:
+            return spec
+    raise DatasetError(
+        f"unknown sample {sid!r}; known: {[s.sid for s in SOGIN_SAMPLES]}"
+    )
+
+
+def generate_environmental_sample(
+    spec: EnvironmentalSampleSpec | str,
+    *,
+    num_reads: int | None = None,
+    otus_per_read: float = 0.12,
+    mean_read_length: int = 60,
+    otu_divergence: float = 0.22,
+    seed: int = 0,
+    region: str | None = None,
+) -> list[SequenceRecord]:
+    """Synthesize one environmental sample.
+
+    Parameters
+    ----------
+    spec:
+        A Table I spec or its SID.
+    num_reads:
+        Override the paper-scale read count (benchmark drivers pass a
+        scaled value).
+    otus_per_read:
+        Latent OTU richness per read; 0.12 reproduces Table V's observed
+        cluster/read ratio (~1100 clusters for ~11 k reads).
+    otu_divergence:
+        Divergence between OTU 16S variable regions.
+    region:
+        When set, the OTU pool (16S genes and labels) derives from the
+        region name instead of the sample id, so samples sharing a region
+        contain the *same* organisms at sample-specific abundances — the
+        structure beta-diversity comparisons measure.  Left ``None``,
+        every sample gets its own pool.
+
+    Returns labelled records (``record.label`` is the source OTU).
+    """
+    if isinstance(spec, str):
+        spec = spec_by_sid(spec)
+    total = num_reads if num_reads is not None else spec.num_reads
+    if total < 1:
+        raise DatasetError(f"num_reads must be >= 1, got {total}")
+    if not 0.0 < otus_per_read <= 1.0:
+        raise DatasetError(
+            f"otus_per_read must be in (0,1], got {otus_per_read}"
+        )
+    pool_key = region if region is not None else spec.sid
+    rng = ensure_rng(derive_seed(seed, "env", spec.sid))
+    num_otus = max(3, int(round(total * otus_per_read)))
+
+    # Rare-biosphere abundance: Zipf-like weights, heavy tail of
+    # singletons.  With a shared region pool, each sample shuffles the
+    # rank order (abundances differ between sites; organisms do not).
+    ranks = np.arange(1, num_otus + 1, dtype=np.float64)
+    weights = 1.0 / ranks
+    weights /= weights.sum()
+    if region is not None:
+        rng.shuffle(weights)
+    counts = rng.multinomial(total, weights)
+
+    model = SixteenSModel(divergence=otu_divergence, seed=derive_seed(seed, "env-genes", pool_key))
+    error_model = PyrosequencingErrorModel()
+    reads: list[SequenceRecord] = []
+    for o, count in enumerate(counts):
+        if count == 0:
+            continue
+        otu = f"{pool_key}_OTU{o:05d}"
+        gene = model.gene_for_taxon(otu)
+        window = model.variable_window(gene, region=3)
+        reads.extend(
+            amplicon_reads(
+                window,
+                int(count),
+                label=otu,
+                id_prefix=f"{spec.sid}_{o:05d}",
+                mean_length=mean_read_length,
+                error_model=error_model,
+                rng=rng,
+            )
+        )
+    order = rng.permutation(len(reads))
+    return [reads[int(i)] for i in order]

@@ -1,0 +1,106 @@
+"""The Table IV 16S simulated dataset (Huse et al. style).
+
+The original data pyrosequenced two PCR amplicon libraries built from 43
+known 16S rRNA gene fragments on a Roche GS20, then filtered reads by
+their error against the references ("reads with less than 3 % and 5 %
+error").  We regenerate that setup: 43 reference genes from a shared 16S
+model, GS20-length amplicon reads, and per-read substitution error drawn
+uniformly below the error limit, so the 3 %-limit set is strictly cleaner
+than the 5 %-limit set — the property Table IV exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.datasets.sixteen_s import SixteenSModel
+from repro.seq.error_models import SubstitutionErrorModel
+from repro.seq.records import SequenceRecord
+from repro.utils.rng import derive_seed, ensure_rng
+
+
+@dataclass(frozen=True)
+class HuseDatasetSpec:
+    """Parameters of the simulated amplicon benchmark.
+
+    Paper scale: 345,000 reads over 43 references; ``num_reads`` is
+    typically overridden with a scaled value in benchmarks.
+    """
+
+    num_references: int = 43
+    num_reads: int = 345_000
+    error_limit: float = 0.03
+    read_length: int = 100  # GS20 nominal read length
+    reference_divergence: float = 0.12
+
+    def __post_init__(self) -> None:
+        if self.num_references < 2:
+            raise DatasetError("need at least 2 reference genes")
+        if self.num_reads < self.num_references:
+            raise DatasetError(
+                f"num_reads {self.num_reads} < num_references "
+                f"{self.num_references}"
+            )
+        if not 0.0 <= self.error_limit <= 0.5:
+            raise DatasetError(
+                f"error_limit must be in [0, 0.5], got {self.error_limit}"
+            )
+        if self.read_length < 30:
+            raise DatasetError("read_length must be >= 30")
+
+
+def generate_huse_dataset(
+    spec: HuseDatasetSpec | None = None,
+    *,
+    num_reads: int | None = None,
+    seed: int = 0,
+) -> list[SequenceRecord]:
+    """Simulate the Table IV amplicon set.
+
+    Reads are drawn uniformly across the 43 references (the real libraries
+    were near-even PCR pools); each read covers the reference's V6-style
+    variable window from the 5' end at the GS20 read length, with a
+    per-read substitution rate uniform in ``[0, error_limit]``.
+    """
+    spec = spec or HuseDatasetSpec()
+    total = num_reads if num_reads is not None else spec.num_reads
+    if total < spec.num_references:
+        raise DatasetError(
+            f"num_reads {total} < num_references {spec.num_references}"
+        )
+    rng = ensure_rng(derive_seed(seed, "huse", spec.error_limit))
+    model = SixteenSModel(
+        divergence=spec.reference_divergence,
+        seed=derive_seed(seed, "huse-genes"),
+    )
+    windows = []
+    for g in range(spec.num_references):
+        gene = model.gene_for_taxon(f"REF{g:03d}")
+        window = model.variable_window(gene, region=5, flank=30)
+        windows.append(window)
+
+    counts = rng.multinomial(total, np.full(spec.num_references, 1.0 / spec.num_references))
+    reads: list[SequenceRecord] = []
+    serial = 0
+    for g, count in enumerate(counts):
+        window = windows[g]
+        label = f"REF{g:03d}"
+        for _ in range(int(count)):
+            length = min(spec.read_length, len(window))
+            fragment = window[:length]
+            rate = float(rng.uniform(0.0, spec.error_limit))
+            fragment = SubstitutionErrorModel(rate).apply(fragment, rng)
+            reads.append(
+                SequenceRecord(
+                    read_id=f"huse_{serial:06d}",
+                    sequence=fragment,
+                    header=f"huse_{serial:06d} ref={label}",
+                    label=label,
+                )
+            )
+            serial += 1
+    order = rng.permutation(len(reads))
+    return [reads[int(i)] for i in order]

@@ -1,0 +1,130 @@
+"""Shotgun read simulation.
+
+Whole-metagenome samples pool reads "fragmented from random positions of
+the entire genome" of each member species (Section I).  The simulator
+draws uniform start positions (optionally treating the genome as
+circular), applies a sequencing-error model, and labels every read with
+its source organism for ground-truth evaluation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.seq.error_models import (
+    PyrosequencingErrorModel,
+    SubstitutionErrorModel,
+)
+from repro.seq.records import SequenceRecord
+from repro.utils.rng import ensure_rng
+
+ErrorModel = SubstitutionErrorModel | PyrosequencingErrorModel | None
+
+
+def shotgun_reads(
+    genome: str,
+    num_reads: int,
+    read_length: int,
+    *,
+    label: str,
+    id_prefix: str = "read",
+    error_model: ErrorModel = None,
+    circular: bool = True,
+    rng: np.random.Generator | int | None = None,
+) -> list[SequenceRecord]:
+    """Sample labelled reads from one genome.
+
+    ``circular=True`` (bacterial chromosomes) lets reads wrap around the
+    origin; otherwise start positions are restricted so every read is
+    full-length.
+    """
+    if num_reads < 0:
+        raise DatasetError(f"num_reads must be non-negative, got {num_reads}")
+    if read_length < 1:
+        raise DatasetError(f"read_length must be >= 1, got {read_length}")
+    if len(genome) < read_length:
+        raise DatasetError(
+            f"genome of length {len(genome)} shorter than read_length "
+            f"{read_length}"
+        )
+    rng = ensure_rng(rng)
+    n = len(genome)
+    if circular:
+        starts = rng.integers(0, n, size=num_reads)
+        doubled = genome + genome[: read_length - 1]
+    else:
+        starts = rng.integers(0, n - read_length + 1, size=num_reads)
+        doubled = genome
+    out: list[SequenceRecord] = []
+    for i, start in enumerate(starts):
+        fragment = doubled[int(start) : int(start) + read_length]
+        if error_model is not None:
+            fragment = error_model.apply(fragment, rng)
+        if not fragment:
+            continue
+        out.append(
+            SequenceRecord(
+                read_id=f"{id_prefix}_{i:06d}",
+                sequence=fragment,
+                header=f"{id_prefix}_{i:06d} source={label}",
+                label=label,
+            )
+        )
+    return out
+
+
+def sample_community(
+    genomes: Sequence[tuple[str, str]],
+    ratios: Sequence[float],
+    total_reads: int,
+    read_length: int,
+    *,
+    error_model: ErrorModel = None,
+    rng: np.random.Generator | int | None = None,
+    shuffle: bool = True,
+) -> list[SequenceRecord]:
+    """Pool reads from several genomes at given abundance ratios.
+
+    ``genomes`` is ``[(name, sequence), ...]``; ``ratios`` need not be
+    normalised (Table II writes them as e.g. ``1:1:8``).  The output is
+    shuffled by default so clustering cannot exploit input grouping.
+    """
+    if len(genomes) != len(ratios):
+        raise DatasetError(
+            f"{len(genomes)} genomes but {len(ratios)} ratios"
+        )
+    if not genomes:
+        raise DatasetError("sample_community needs at least one genome")
+    if any(r <= 0 for r in ratios):
+        raise DatasetError(f"ratios must be positive, got {list(ratios)}")
+    if total_reads < len(genomes):
+        raise DatasetError(
+            f"total_reads={total_reads} cannot cover {len(genomes)} genomes"
+        )
+    rng = ensure_rng(rng)
+    weights = np.asarray(ratios, dtype=np.float64)
+    weights /= weights.sum()
+    counts = np.floor(weights * total_reads).astype(int)
+    counts[0] += total_reads - counts.sum()  # exact total
+    counts = np.maximum(counts, 1)
+
+    reads: list[SequenceRecord] = []
+    for (name, genome), count in zip(genomes, counts):
+        reads.extend(
+            shotgun_reads(
+                genome,
+                int(count),
+                read_length,
+                label=name,
+                id_prefix=name.replace(" ", "_"),
+                error_model=error_model,
+                rng=rng,
+            )
+        )
+    if shuffle:
+        order = rng.permutation(len(reads))
+        reads = [reads[int(i)] for i in order]
+    return reads

@@ -1,0 +1,279 @@
+"""The Table II whole-metagenome samples (Chatterji et al. mixes + R1).
+
+Each sample pools shotgun reads from a few genomes whose pairwise
+relatedness is pinned by the table's "Taxonomic Difference" column and
+whose composition is pinned by the bracketed GC contents.  We model the
+phylogeny as a two-level star: a sample-level root ancestor, optional
+subgroup ancestors (for samples mixing distant clades), and per-species
+branches.  Pairwise divergence between two species is approximately the
+sum of the branches connecting them, which we set so it matches
+:data:`repro.datasets.taxonomy.RANK_DIVERGENCE` for the table's annotated
+rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.datasets.genomes import (
+    mutate_genome,
+    random_genome,
+    random_substitution_bias,
+)
+from repro.datasets.reads import sample_community
+from repro.seq.error_models import SubstitutionErrorModel
+from repro.seq.records import SequenceRecord
+from repro.utils.rng import derive_seed, ensure_rng
+
+
+@dataclass(frozen=True)
+class SpeciesSpec:
+    """One organism in a sample: name, GC target, abundance and phylogeny
+    placement (subgroup + branch divergence from the subgroup ancestor)."""
+
+    name: str
+    gc: float
+    ratio: float
+    subgroup: str = "g0"
+    branch: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.gc <= 1.0:
+            raise DatasetError(f"gc must be in [0,1], got {self.gc}")
+        if self.ratio <= 0:
+            raise DatasetError(f"ratio must be positive, got {self.ratio}")
+        if not 0.0 <= self.branch <= 1.0:
+            raise DatasetError(f"branch must be in [0,1], got {self.branch}")
+
+
+@dataclass(frozen=True)
+class WholeMetagenomeSpec:
+    """One row of Table II."""
+
+    sid: str
+    species: tuple[SpeciesSpec, ...]
+    num_reads: int
+    taxonomic_difference: str = "-"
+    num_clusters: int | None = None
+    read_length: int = 1000
+    has_truth: bool = True
+    subgroup_divergence: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.species:
+            raise DatasetError(f"sample {self.sid} has no species")
+        if self.num_reads < len(self.species):
+            raise DatasetError(
+                f"sample {self.sid}: num_reads {self.num_reads} < species count"
+            )
+
+
+def _pair(sid, a, gca, b, gcb, rank_div, reads, ratio=(1, 1), diff="-", clusters=2):
+    half = rank_div / 2.0
+    return WholeMetagenomeSpec(
+        sid=sid,
+        species=(
+            SpeciesSpec(a, gca, ratio[0], branch=half),
+            SpeciesSpec(b, gcb, ratio[1], branch=half),
+        ),
+        num_reads=reads,
+        taxonomic_difference=diff,
+        num_clusters=clusters,
+    )
+
+
+#: Table II verbatim (rank divergences from taxonomy.RANK_DIVERGENCE:
+#: species .03, genus .10, family .18, order .25, phylum .35, kingdom .45).
+WHOLE_METAGENOME_SPECS: tuple[WholeMetagenomeSpec, ...] = (
+    _pair("S1", "Bacillus halodurans", 0.44, "Bacillus subtilis", 0.44, 0.03, 49998, diff="Species"),
+    _pair("S2", "Gluconobacter oxydans", 0.61, "Granulobacter bethesdensis", 0.59, 0.10, 49998, diff="Genus"),
+    _pair("S3", "Escherichia coli", 0.51, "Yersinia pestis", 0.48, 0.10, 49998, diff="Genus"),
+    _pair("S4", "Rhodopirellula baltica", 0.55, "Blastopirellula marina", 0.57, 0.10, 49998, diff="Genus"),
+    _pair("S5", "Bacillus anthracis", 0.35, "Listeria monocytogenes", 0.38, 0.18, 49998, ratio=(1, 2), diff="Family"),
+    _pair("S6", "Methanocaldococcus jannaschii", 0.31, "Methanococcus mariplaudis", 0.33, 0.18, 49998, diff="Family"),
+    _pair("S7", "Thermofilum pendens", 0.58, "Pyrobaculum aerophilum", 0.51, 0.18, 49998, diff="Family"),
+    _pair("S8", "Gluconobacter oxydans", 0.61, "Rhodospirillum rubrum", 0.65, 0.25, 49998, diff="Order"),
+    WholeMetagenomeSpec(
+        sid="S9",
+        species=(
+            SpeciesSpec("Gluconobacter oxydans", 0.61, 1, branch=0.09),
+            SpeciesSpec("Granulobacter bethesdensis", 0.59, 1, branch=0.09),
+            SpeciesSpec("Nitrobacter hamburgensis", 0.62, 8, branch=0.16),
+        ),
+        num_reads=49996,
+        taxonomic_difference="Family,Order",
+        num_clusters=3,
+    ),
+    WholeMetagenomeSpec(
+        sid="S10",
+        species=(
+            SpeciesSpec("Escherichia coli", 0.51, 1, branch=0.125),
+            SpeciesSpec("Pseudomonas putida", 0.62, 1, branch=0.125),
+            SpeciesSpec("Bacillus anthracis", 0.35, 8, branch=0.225),
+        ),
+        num_reads=49996,
+        taxonomic_difference="Order,Phylum",
+        num_clusters=3,
+    ),
+    WholeMetagenomeSpec(
+        sid="S11",
+        species=(
+            SpeciesSpec("Gluconobacter oxydans", 0.61, 1, branch=0.09),
+            SpeciesSpec("Granulobacter bethesdensis", 0.59, 1, branch=0.09),
+            SpeciesSpec("Nitrobacter hamburgensis", 0.62, 4, branch=0.16),
+            SpeciesSpec("Rhodospirillum rubrum", 0.65, 4, branch=0.16),
+        ),
+        num_reads=99998,
+        taxonomic_difference="Family,Order",
+        num_clusters=4,
+    ),
+    WholeMetagenomeSpec(
+        sid="S12",
+        species=(
+            SpeciesSpec("Escherichia coli", 0.51, 1, subgroup="proteo", branch=0.125),
+            SpeciesSpec("Pseudomonas putida", 0.62, 1, subgroup="proteo", branch=0.125),
+            SpeciesSpec("Thermofilum pendens", 0.58, 1, subgroup="archaea", branch=0.09),
+            SpeciesSpec("Pyrobaculum aerophilum", 0.51, 1, subgroup="archaea", branch=0.09),
+            SpeciesSpec("Bacillus anthracis", 0.35, 2, subgroup="firmicutes", branch=0.015),
+            SpeciesSpec("Bacillus subtilis", 0.44, 14, subgroup="firmicutes", branch=0.015),
+        ),
+        num_reads=99994,
+        taxonomic_difference="Species,Order,Family,Phylum,Kingdom",
+        num_clusters=6,
+        subgroup_divergence={"proteo": 0.05, "archaea": 0.16, "firmicutes": 0.12},
+    ),
+    _pair("S13", "Acinetobacter baumannii SDF", 0.40, "Pseudomonas entomophila L48", 0.64, 0.25, 4000),
+    WholeMetagenomeSpec(
+        sid="S14",
+        species=(
+            SpeciesSpec("Ehrlichia ruminantium Gardel", 0.27, 1, branch=0.09),
+            SpeciesSpec("Anaplasma centrale Israel", 0.30, 1, branch=0.09),
+            SpeciesSpec("Neorickettsia sennetsu Miyayama", 0.41, 1, branch=0.13),
+        ),
+        num_reads=6000,
+        num_clusters=3,
+    ),
+    WholeMetagenomeSpec(
+        sid="R1",
+        species=(
+            SpeciesSpec("Baumannia cicadellinicola", 0.33, 3, branch=0.15),
+            SpeciesSpec("Sulcia muelleri", 0.22, 2, branch=0.20),
+            SpeciesSpec("Wolbachia-like symbiont", 0.34, 1, branch=0.17),
+        ),
+        num_reads=7137,
+        num_clusters=None,
+        read_length=700,
+        has_truth=False,
+    ),
+)
+
+
+def spec_by_sid(sid: str) -> WholeMetagenomeSpec:
+    """Look up a Table II sample by SID."""
+    for spec in WHOLE_METAGENOME_SPECS:
+        if spec.sid == sid:
+            return spec
+    raise DatasetError(
+        f"unknown sample {sid!r}; known: "
+        f"{[s.sid for s in WHOLE_METAGENOME_SPECS]}"
+    )
+
+
+def adjust_gc(
+    genome: str, target_gc: float, rng: np.random.Generator | int | None = None
+) -> str:
+    """Shift a genome's composition toward ``target_gc`` by random
+    substitutions of the over-represented base class."""
+    if not genome:
+        raise DatasetError("cannot adjust an empty genome")
+    if not 0.0 <= target_gc <= 1.0:
+        raise DatasetError(f"target_gc must be in [0,1], got {target_gc}")
+    rng = ensure_rng(rng)
+    chars = np.frombuffer(genome.encode("ascii"), dtype=np.uint8).copy()
+    is_gc = (chars == ord("G")) | (chars == ord("C"))
+    current = is_gc.mean()
+    if abs(current - target_gc) < 1e-9:
+        return genome
+    if target_gc > current:
+        donors = np.flatnonzero(~is_gc)
+        p = (target_gc - current) / max(1e-12, 1.0 - current)
+        new_bases = (ord("G"), ord("C"))
+    else:
+        donors = np.flatnonzero(is_gc)
+        p = (current - target_gc) / max(1e-12, current)
+        new_bases = (ord("A"), ord("T"))
+    flip = donors[rng.random(donors.size) < p]
+    chars[flip] = np.where(rng.random(flip.size) < 0.5, new_bases[0], new_bases[1])
+    return chars.tobytes().decode("ascii")
+
+
+def build_genomes(
+    spec: WholeMetagenomeSpec,
+    *,
+    genome_length: int = 12000,
+    seed: int = 0,
+) -> list[tuple[str, str]]:
+    """Generate the sample's genomes from its two-level star phylogeny."""
+    if genome_length < spec.read_length:
+        raise DatasetError(
+            f"genome_length {genome_length} shorter than read_length "
+            f"{spec.read_length}"
+        )
+    root_rng = ensure_rng(derive_seed(seed, "wm-root", spec.sid))
+    root = random_genome(genome_length, gc_content=0.5, rng=root_rng)
+    subgroup_ancestors: dict[str, str] = {}
+    for sp in spec.species:
+        if sp.subgroup not in subgroup_ancestors:
+            d = spec.subgroup_divergence.get(sp.subgroup, 0.0)
+            if d > 0:
+                sub_rng = ensure_rng(derive_seed(seed, "wm-sub", spec.sid, sp.subgroup))
+                subgroup_ancestors[sp.subgroup] = mutate_genome(
+                    root,
+                    d,
+                    rng=sub_rng,
+                    substitution_bias=random_substitution_bias(sub_rng),
+                )
+            else:
+                subgroup_ancestors[sp.subgroup] = root
+    out: list[tuple[str, str]] = []
+    for sp in spec.species:
+        rng = ensure_rng(derive_seed(seed, "wm-species", spec.sid, sp.name))
+        # Lineage-specific substitution preferences give each species the
+        # compositional signature composition-based binning relies on.
+        bias = random_substitution_bias(rng)
+        genome = mutate_genome(
+            subgroup_ancestors[sp.subgroup],
+            sp.branch,
+            rng=rng,
+            substitution_bias=bias,
+        )
+        genome = adjust_gc(genome, sp.gc, rng)
+        out.append((sp.name, genome))
+    return out
+
+
+def generate_whole_metagenome_sample(
+    spec: WholeMetagenomeSpec | str,
+    *,
+    num_reads: int | None = None,
+    genome_length: int = 12000,
+    error_rate: float = 0.005,
+    seed: int = 0,
+) -> list[SequenceRecord]:
+    """Synthesize one Table II sample as labelled shotgun reads."""
+    if isinstance(spec, str):
+        spec = spec_by_sid(spec)
+    total = num_reads if num_reads is not None else spec.num_reads
+    genomes = build_genomes(spec, genome_length=genome_length, seed=seed)
+    model = SubstitutionErrorModel(error_rate) if error_rate > 0 else None
+    return sample_community(
+        genomes,
+        [sp.ratio for sp in spec.species],
+        total,
+        spec.read_length if genome_length >= spec.read_length else genome_length,
+        error_model=model,
+        rng=ensure_rng(derive_seed(seed, "wm-reads", spec.sid)),
+    )

@@ -1,0 +1,73 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything produced by this package with a single ``except`` clause
+while still letting programming errors (``TypeError`` and friends)
+propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class SequenceError(ReproError):
+    """Invalid sequence data (bad alphabet, empty sequence, bad FASTA)."""
+
+
+class FastaParseError(SequenceError):
+    """Malformed FASTA/FASTQ input."""
+
+    def __init__(self, message: str, line_number: int | None = None):
+        self.line_number = line_number
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+
+
+class KmerError(SequenceError):
+    """Invalid k-mer parameters (k out of range, sequence shorter than k)."""
+
+
+class SketchError(ReproError):
+    """Invalid min-hash sketch operation (mismatched families, bad params)."""
+
+
+class ClusteringError(ReproError):
+    """Invalid clustering input or parameters."""
+
+
+class MapReduceError(ReproError):
+    """Errors raised by the Map-Reduce engine."""
+
+
+class HdfsError(MapReduceError):
+    """Errors raised by the simulated HDFS layer."""
+
+
+class PigError(ReproError):
+    """Errors raised by the Pig dataflow layer."""
+
+
+class PigParseError(PigError):
+    """Syntax error in a Pig script."""
+
+    def __init__(self, message: str, line_number: int | None = None):
+        self.line_number = line_number
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+
+
+class DatasetError(ReproError):
+    """Invalid dataset-generation parameters."""
+
+
+class EvaluationError(ReproError):
+    """Invalid evaluation input (empty clustering, label mismatch)."""
+
+
+class SimulationError(MapReduceError):
+    """Errors raised by the discrete-event cluster simulator."""

@@ -1,0 +1,57 @@
+"""Evaluation metrics and report tables (Section IV-B).
+
+* :func:`weighted_cluster_accuracy` — "W.Acc": each cluster is designated
+  by its most frequent ground-truth class; accuracy is the percent of
+  sequences matching the designation, averaged over clusters weighted by
+  cluster size.
+* :func:`weighted_cluster_similarity` — "W.Sim": average within-cluster
+  global-alignment identity, weighted by cluster size, over clusters above
+  a minimum size (the paper uses > 50 sequences).
+* :mod:`repro.eval.metrics` — standard external metrics (purity, NMI,
+  ARI) for additional validation.
+"""
+
+from repro.eval.accuracy import weighted_cluster_accuracy
+from repro.eval.similarity import weighted_cluster_similarity
+from repro.eval.metrics import (
+    purity,
+    normalized_mutual_information,
+    adjusted_rand_index,
+    contingency_table,
+)
+from repro.eval.diversity import (
+    chao1,
+    shannon_index,
+    simpson_index,
+    goods_coverage,
+    rarefaction_curve,
+)
+from repro.eval.beta import (
+    bray_curtis,
+    jaccard_distance,
+    morisita_horn,
+    beta_diversity_matrix,
+    otu_table,
+)
+from repro.eval.report import Table, format_table
+
+__all__ = [
+    "weighted_cluster_accuracy",
+    "weighted_cluster_similarity",
+    "purity",
+    "normalized_mutual_information",
+    "adjusted_rand_index",
+    "contingency_table",
+    "chao1",
+    "shannon_index",
+    "simpson_index",
+    "goods_coverage",
+    "rarefaction_curve",
+    "bray_curtis",
+    "jaccard_distance",
+    "morisita_horn",
+    "beta_diversity_matrix",
+    "otu_table",
+    "Table",
+    "format_table",
+]

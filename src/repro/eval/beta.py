@@ -1,0 +1,133 @@
+"""Beta diversity: comparing communities *between* samples.
+
+The Sogin study behind Table I compares microbial communities across
+sites/depths; with clusterings (OTU tables) in hand, the standard
+between-sample measures are:
+
+* :func:`bray_curtis` — abundance-weighted dissimilarity;
+* :func:`jaccard_distance` — presence/absence overlap;
+* :func:`morisita_horn` — abundance similarity robust to sample size;
+* :func:`beta_diversity_matrix` — any of the above across many samples.
+
+Samples are represented as OTU abundance dicts; :func:`otu_table`
+derives one from a clustering whose OTU identity is the cluster's
+ground-truth-free label (for cross-sample comparison, cluster samples
+*jointly* and split the assignment by sample id).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import EvaluationError
+from repro.cluster.assignments import ClusterAssignment
+
+
+def otu_table(
+    assignment: ClusterAssignment,
+    sample_of: Mapping[str, str],
+) -> dict[str, dict[int, int]]:
+    """Split one joint clustering into per-sample OTU abundance vectors.
+
+    Parameters
+    ----------
+    sample_of:
+        ``read_id -> sample id`` for every clustered read.
+
+    Returns
+    -------
+    ``{sample id: {otu label: count}}``.
+    """
+    missing = [r for r in assignment if r not in sample_of]
+    if missing:
+        raise EvaluationError(
+            f"no sample id for read {missing[0]!r} "
+            f"({len(missing)} reads unmapped)"
+        )
+    table: dict[str, dict[int, int]] = {}
+    for read_id, otu in assignment.items():
+        sample = sample_of[read_id]
+        bucket = table.setdefault(sample, {})
+        bucket[otu] = bucket.get(otu, 0) + 1
+    return table
+
+
+def _validate(a: Mapping[int, int], b: Mapping[int, int]) -> None:
+    if not a or not b:
+        raise EvaluationError("beta diversity of an empty sample is undefined")
+    if any(v < 0 for v in a.values()) or any(v < 0 for v in b.values()):
+        raise EvaluationError("abundances must be non-negative")
+
+
+def bray_curtis(a: Mapping[int, int], b: Mapping[int, int]) -> float:
+    """Bray-Curtis dissimilarity ``1 - 2*C / (S_a + S_b)`` in [0, 1]."""
+    _validate(a, b)
+    shared = sum(min(a.get(k, 0), b.get(k, 0)) for k in set(a) | set(b))
+    total = sum(a.values()) + sum(b.values())
+    return 1.0 - 2.0 * shared / total
+
+
+def jaccard_distance(a: Mapping[int, int], b: Mapping[int, int]) -> float:
+    """Presence/absence Jaccard distance ``1 - |A ∩ B| / |A ∪ B|``."""
+    _validate(a, b)
+    sa = {k for k, v in a.items() if v > 0}
+    sb = {k for k, v in b.items() if v > 0}
+    union = sa | sb
+    if not union:
+        raise EvaluationError("both samples have zero abundance everywhere")
+    return 1.0 - len(sa & sb) / len(union)
+
+
+def morisita_horn(a: Mapping[int, int], b: Mapping[int, int]) -> float:
+    """Morisita-Horn *similarity* in [0, 1] (1 = identical structure)."""
+    _validate(a, b)
+    keys = sorted(set(a) | set(b))
+    xa = np.array([a.get(k, 0) for k in keys], dtype=np.float64)
+    xb = np.array([b.get(k, 0) for k in keys], dtype=np.float64)
+    na, nb = xa.sum(), xb.sum()
+    if na == 0 or nb == 0:
+        raise EvaluationError("both samples need positive totals")
+    da = float(np.sum(xa * xa)) / (na * na)
+    db = float(np.sum(xb * xb)) / (nb * nb)
+    denom = (da + db) * na * nb
+    if denom == 0:
+        return 0.0
+    return float(2.0 * np.sum(xa * xb) / denom)
+
+
+METRICS: dict[str, Callable] = {
+    "bray-curtis": bray_curtis,
+    "jaccard": jaccard_distance,
+    "morisita-horn": morisita_horn,
+}
+
+
+def beta_diversity_matrix(
+    samples: Mapping[str, Mapping[int, int]] | Sequence[tuple[str, Mapping[int, int]]],
+    *,
+    metric: str = "bray-curtis",
+) -> tuple[list[str], np.ndarray]:
+    """Pairwise beta-diversity matrix across samples.
+
+    Returns ``(sample ids, matrix)``; for similarity metrics
+    (morisita-horn) the diagonal is 1, for distances it is 0.
+    """
+    if metric not in METRICS:
+        raise EvaluationError(
+            f"unknown metric {metric!r}; expected one of {sorted(METRICS)}"
+        )
+    items = list(samples.items()) if isinstance(samples, Mapping) else list(samples)
+    if len(items) < 2:
+        raise EvaluationError("need at least two samples")
+    fn = METRICS[metric]
+    ids = [name for name, _ in items]
+    n = len(items)
+    diag = 1.0 if metric == "morisita-horn" else 0.0
+    out = np.full((n, n), diag, dtype=np.float64)
+    for i in range(n):
+        for j in range(i + 1, n):
+            value = fn(items[i][1], items[j][1])
+            out[i, j] = out[j, i] = value
+    return ids, out

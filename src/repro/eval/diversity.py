@@ -1,0 +1,111 @@
+"""Species-diversity metrics over clusterings.
+
+The paper motivates binning with "(ii) it allows computation of species
+diversity metrics" (Section I) — for 16S surveys the OTU size
+distribution feeds richness and evenness estimators.  This module
+implements the standard set on top of
+:class:`~repro.cluster.assignments.ClusterAssignment`:
+
+* :func:`chao1` — abundance-based richness estimate (singleton/doubleton
+  corrected), the headline number of the rare-biosphere studies the
+  Table I samples come from;
+* :func:`shannon_index` / :func:`simpson_index` — diversity/evenness;
+* :func:`goods_coverage` — how completely the sample covers the
+  community;
+* :func:`rarefaction_curve` — expected OTU count vs subsample size.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import EvaluationError
+from repro.cluster.assignments import ClusterAssignment
+
+
+def _abundances(assignment: ClusterAssignment) -> np.ndarray:
+    return np.array(sorted(assignment.sizes().values(), reverse=True), dtype=np.int64)
+
+
+def chao1(assignment: ClusterAssignment) -> float:
+    """Chao1 richness estimator.
+
+    ``S_obs + F1^2 / (2 * F2)`` with the bias-corrected form
+    ``S_obs + F1 (F1 - 1) / (2 (F2 + 1))`` when doubletons are absent.
+    """
+    sizes = _abundances(assignment)
+    s_obs = sizes.size
+    f1 = int(np.sum(sizes == 1))
+    f2 = int(np.sum(sizes == 2))
+    if f2 > 0:
+        return s_obs + f1 * f1 / (2.0 * f2)
+    return s_obs + f1 * (f1 - 1) / 2.0
+
+
+def shannon_index(assignment: ClusterAssignment) -> float:
+    """Shannon entropy H' = -sum p_i ln p_i over OTU frequencies."""
+    sizes = _abundances(assignment).astype(np.float64)
+    p = sizes / sizes.sum()
+    return float(-np.sum(p * np.log(p)))
+
+
+def simpson_index(assignment: ClusterAssignment) -> float:
+    """Simpson's diversity 1 - sum p_i^2 (probability two random reads
+    come from different OTUs)."""
+    sizes = _abundances(assignment).astype(np.float64)
+    p = sizes / sizes.sum()
+    return float(1.0 - np.sum(p * p))
+
+
+def goods_coverage(assignment: ClusterAssignment) -> float:
+    """Good's coverage estimate ``1 - F1 / N``."""
+    sizes = _abundances(assignment)
+    f1 = int(np.sum(sizes == 1))
+    return 1.0 - f1 / int(sizes.sum())
+
+
+def rarefaction_curve(
+    assignment: ClusterAssignment,
+    depths: Sequence[int] | None = None,
+) -> list[tuple[int, float]]:
+    """Analytic rarefaction: expected OTU count at each subsample depth.
+
+    Uses the hypergeometric formula
+    ``E[S_n] = S - sum_i C(N - N_i, n) / C(N, n)`` computed in log space
+    for numerical stability.
+
+    Parameters
+    ----------
+    depths:
+        Subsample sizes; defaults to ten evenly spaced depths up to N.
+    """
+    sizes = _abundances(assignment)
+    total = int(sizes.sum())
+    if depths is None:
+        depths = sorted({max(1, total * k // 10) for k in range(1, 11)})
+    out: list[tuple[int, float]] = []
+    for depth in depths:
+        if not 1 <= depth <= total:
+            raise EvaluationError(
+                f"rarefaction depth {depth} outside [1, {total}]"
+            )
+        expected = 0.0
+        for n_i in sizes:
+            remaining = total - int(n_i)
+            if remaining < depth:
+                # The OTU is guaranteed to appear in any subsample.
+                expected += 1.0
+                continue
+            log_absent = (
+                _log_comb(remaining, depth) - _log_comb(total, depth)
+            )
+            expected += 1.0 - math.exp(log_absent)
+        out.append((int(depth), expected))
+    return out
+
+
+def _log_comb(n: int, k: int) -> float:
+    return math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)

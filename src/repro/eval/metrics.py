@@ -1,0 +1,90 @@
+"""Standard external clustering metrics, implemented from scratch.
+
+Purity, normalized mutual information (NMI) and adjusted Rand index (ARI)
+supplement the paper's W.Acc/W.Sim for sanity checks and property-based
+tests (e.g., a perfect clustering must score 1.0 on all three).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.errors import EvaluationError
+from repro.cluster.assignments import ClusterAssignment
+
+
+def contingency_table(
+    assignment: ClusterAssignment, truth: Mapping[str, str]
+) -> tuple[np.ndarray, list[int], list[str]]:
+    """Cluster-by-class count matrix.
+
+    Returns ``(table, cluster_labels, class_labels)`` where ``table[i, j]``
+    counts members of cluster ``cluster_labels[i]`` with true class
+    ``class_labels[j]``.
+    """
+    missing = [r for r in assignment if r not in truth]
+    if missing:
+        raise EvaluationError(
+            f"no ground-truth label for {len(missing)} sequences "
+            f"(first: {missing[0]!r})"
+        )
+    cluster_labels = sorted(assignment.clusters())
+    class_labels = sorted({truth[r] for r in assignment})
+    cluster_index = {c: i for i, c in enumerate(cluster_labels)}
+    class_index = {c: j for j, c in enumerate(class_labels)}
+    table = np.zeros((len(cluster_labels), len(class_labels)), dtype=np.int64)
+    for read_id in assignment:
+        table[cluster_index[assignment[read_id]], class_index[truth[read_id]]] += 1
+    return table, cluster_labels, class_labels
+
+
+def purity(assignment: ClusterAssignment, truth: Mapping[str, str]) -> float:
+    """Fraction of sequences matching their cluster's majority class."""
+    table, _, _ = contingency_table(assignment, truth)
+    return float(table.max(axis=1).sum() / table.sum())
+
+
+def normalized_mutual_information(
+    assignment: ClusterAssignment, truth: Mapping[str, str]
+) -> float:
+    """NMI with arithmetic-mean normalisation, in [0, 1]."""
+    table, _, _ = contingency_table(assignment, truth)
+    n = table.sum()
+    pij = table / n
+    pi = pij.sum(axis=1)
+    pj = pij.sum(axis=0)
+    nz = pij > 0
+    mi = float(np.sum(pij[nz] * np.log(pij[nz] / np.outer(pi, pj)[nz])))
+    h_c = -float(np.sum(pi[pi > 0] * np.log(pi[pi > 0])))
+    h_k = -float(np.sum(pj[pj > 0] * np.log(pj[pj > 0])))
+    if h_c == 0.0 and h_k == 0.0:
+        return 1.0  # single cluster and single class: identical partitions
+    denom = (h_c + h_k) / 2.0
+    if denom == 0.0:
+        return 0.0
+    return max(0.0, min(1.0, mi / denom))
+
+
+def adjusted_rand_index(
+    assignment: ClusterAssignment, truth: Mapping[str, str]
+) -> float:
+    """ARI (chance-corrected Rand index); 1.0 iff partitions coincide."""
+    table, _, _ = contingency_table(assignment, truth)
+    n = table.sum()
+    if n < 2:
+        return 1.0
+
+    def comb2(x: np.ndarray) -> np.ndarray:
+        return x * (x - 1) / 2.0
+
+    sum_ij = float(comb2(table).sum())
+    sum_i = float(comb2(table.sum(axis=1)).sum())
+    sum_j = float(comb2(table.sum(axis=0)).sum())
+    total = float(comb2(np.array([n])).item())
+    expected = sum_i * sum_j / total
+    maximum = (sum_i + sum_j) / 2.0
+    if maximum == expected:
+        return 1.0
+    return (sum_ij - expected) / (maximum - expected)

@@ -1,0 +1,59 @@
+"""Plain-text table rendering for the benchmark drivers.
+
+The benchmark harness prints tables in the same row/column layout as the
+paper's Tables III–V so paper-vs-measured comparison is a visual diff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import EvaluationError
+
+
+@dataclass
+class Table:
+    """A simple column-aligned text table."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        """Append one row (must match the column count)."""
+        if len(values) != len(self.columns):
+            raise EvaluationError(
+                f"row has {len(values)} values for {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def render(self) -> str:
+        """Render with column alignment and a title rule."""
+        return format_table(self.title, self.columns, self.rows)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(title: str, columns: list[str], rows: list[list[object]]) -> str:
+    """Column-aligned text rendering used by every benchmark driver."""
+    if not columns:
+        raise EvaluationError("a table needs at least one column")
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(c) for c in columns]
+    for row in cells:
+        if len(row) != len(columns):
+            raise EvaluationError(
+                f"row has {len(row)} values for {len(columns)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    header = " | ".join(c.ljust(w) for c, w in zip(columns, widths))
+    lines = [title, "=" * max(len(title), len(header)), header, sep]
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,151 @@
+"""Hadoop cluster cost model.
+
+Converts the *measured work* of a job (its
+:class:`~repro.mapreduce.types.JobTrace`) into the wall-clock durations the
+discrete-event simulator schedules.  Constants default to values
+representative of the Hadoop-1 / Amazon EMR "M1 Large" era the paper used
+(Section IV-C): multi-second JVM/job startup, ~1 s task launch, and
+spinning-disk/1-GbE I/O rates.  The two per-record constants
+(``map_cost_per_record_s`` and ``pair_cost_s``) can be calibrated from
+real single-process measurements of the actual kernels via
+:func:`calibrate`, which is what the Figure 2 driver does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import SimulationError
+from repro.mapreduce.types import JobTrace, TaskTrace
+
+
+@dataclass(frozen=True)
+class HadoopCostModel:
+    """Timing constants for one cluster node class.
+
+    Attributes
+    ----------
+    job_startup_s:
+        Fixed per-job overhead (job submission, JVM spin-up, scheduling).
+        This is the term that makes small inputs insensitive to node count
+        in Figure 2.
+    task_launch_s:
+        Per-task overhead (task JVM start, heartbeat latency).
+    map_cost_per_record_s / reduce_cost_per_record_s:
+        CPU cost per input record in map/reduce tasks.
+    pair_cost_s:
+        CPU cost per sequence *pair* in the all-pairs similarity job (the
+        quadratic term that dominates the hierarchical pipeline).
+    hdfs_read_bw / shuffle_bw:
+        Bytes/second per node for block reads and shuffle fetches.
+    nonlocal_penalty:
+        Multiplier on block-read time when a map task is not node-local.
+    cpu_scale:
+        Multiplier applied to *measured* ``cpu_seconds`` in traces (how
+        much slower/faster the modeled node is than the measuring host).
+    """
+
+    job_startup_s: float = 18.0
+    task_launch_s: float = 1.2
+    map_cost_per_record_s: float = 2.0e-4
+    reduce_cost_per_record_s: float = 1.0e-4
+    pair_cost_s: float = 4.0e-7
+    hdfs_read_bw: float = 60e6
+    shuffle_bw: float = 30e6
+    nonlocal_penalty: float = 1.5
+    cpu_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "job_startup_s",
+            "task_launch_s",
+            "map_cost_per_record_s",
+            "reduce_cost_per_record_s",
+            "pair_cost_s",
+            "nonlocal_penalty",
+            "cpu_scale",
+        ):
+            if getattr(self, name) < 0:
+                raise SimulationError(f"{name} must be non-negative")
+        for name in ("hdfs_read_bw", "shuffle_bw"):
+            if getattr(self, name) <= 0:
+                raise SimulationError(f"{name} must be positive")
+
+    # ---- per-task durations -------------------------------------------------
+
+    def task_duration(self, task: TaskTrace, *, local: bool = True) -> float:
+        """Wall-clock for one task on a modeled node.
+
+        Prefers measured CPU seconds (scaled by ``cpu_scale``) when the
+        trace carries them; falls back to the per-record constants for
+        synthetic traces.
+        """
+        if task.cpu_seconds > 0:
+            compute = task.cpu_seconds * self.cpu_scale
+        elif task.kind == "map":
+            compute = task.records_in * self.map_cost_per_record_s
+        else:
+            compute = task.records_in * self.reduce_cost_per_record_s
+        io = task.bytes_in / self.hdfs_read_bw
+        if task.kind == "map" and not local:
+            io *= self.nonlocal_penalty
+        return self.task_launch_s + compute + io
+
+    def shuffle_duration(self, trace: JobTrace, num_nodes: int) -> float:
+        """Time for all reducers to fetch the intermediate data.
+
+        Shuffle parallelises across nodes: aggregate bandwidth is
+        ``num_nodes * shuffle_bw``.
+        """
+        if num_nodes < 1:
+            raise SimulationError(f"num_nodes must be >= 1, got {num_nodes}")
+        return trace.shuffle_bytes / (self.shuffle_bw * num_nodes)
+
+    def with_calibration(
+        self,
+        *,
+        map_cost_per_record_s: float | None = None,
+        pair_cost_s: float | None = None,
+        cpu_scale: float | None = None,
+    ) -> "HadoopCostModel":
+        """Copy of this model with measured constants substituted."""
+        kwargs = {}
+        if map_cost_per_record_s is not None:
+            kwargs["map_cost_per_record_s"] = map_cost_per_record_s
+        if pair_cost_s is not None:
+            kwargs["pair_cost_s"] = pair_cost_s
+        if cpu_scale is not None:
+            kwargs["cpu_scale"] = cpu_scale
+        return replace(self, **kwargs)
+
+
+#: Constants matching the paper's node type: EMR "M1 Large" (7.5 GiB RAM,
+#: 4 EC2 compute units, 850 GB local disk) on Hadoop 1.x.
+M1_LARGE_COST_MODEL = HadoopCostModel()
+
+
+def calibrate(
+    *,
+    sketch_seconds: float,
+    sketch_records: int,
+    pair_seconds: float,
+    pair_count: int,
+    base: HadoopCostModel = M1_LARGE_COST_MODEL,
+) -> HadoopCostModel:
+    """Build a cost model from real measurements of the two kernels.
+
+    Parameters
+    ----------
+    sketch_seconds / sketch_records:
+        Wall-clock and record count of a real sketching run.
+    pair_seconds / pair_count:
+        Wall-clock and pair count of a real similarity-matrix run.
+    """
+    if sketch_records < 1 or pair_count < 1:
+        raise SimulationError("calibration needs at least one record and one pair")
+    if sketch_seconds < 0 or pair_seconds < 0:
+        raise SimulationError("calibration durations must be non-negative")
+    return base.with_calibration(
+        map_cost_per_record_s=sketch_seconds / sketch_records,
+        pair_cost_s=pair_seconds / pair_count,
+    )

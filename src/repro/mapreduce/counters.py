@@ -1,0 +1,53 @@
+"""Hadoop-style job counters.
+
+Counters are grouped (``group:name``) and additive; mappers and reducers
+receive a counters object through their optional ``context`` and the
+runner merges per-task counters into the job result, mirroring how Hadoop
+aggregates task counters at the JobTracker.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterator
+
+
+class Counters:
+    """Additive named counters, mergeable across tasks."""
+
+    def __init__(self) -> None:
+        self._values: dict[tuple[str, str], int] = defaultdict(int)
+
+    def increment(self, group: str, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``group:name``."""
+        self._values[(group, name)] += amount
+
+    def get(self, group: str, name: str) -> int:
+        """Current value of ``group:name`` (0 if never incremented)."""
+        return self._values.get((group, name), 0)
+
+    def merge(self, other: "Counters") -> None:
+        """Add all of ``other``'s counters into this object."""
+        for key, value in other._values.items():
+            self._values[key] += value
+
+    def groups(self) -> list[str]:
+        """Sorted list of counter groups seen so far."""
+        return sorted({group for group, _ in self._values})
+
+    def as_dict(self) -> dict[str, dict[str, int]]:
+        """Nested ``{group: {name: value}}`` snapshot."""
+        out: dict[str, dict[str, int]] = {}
+        for (group, name), value in sorted(self._values.items()):
+            out.setdefault(group, {})[name] = value
+        return out
+
+    def __iter__(self) -> Iterator[tuple[str, str, int]]:
+        for (group, name), value in sorted(self._values.items()):
+            yield group, name, value
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counters({self.as_dict()!r})"

@@ -1,0 +1,270 @@
+"""Simulated HDFS: block-based file storage with replication and locality.
+
+The paper stores FASTA inputs and clustering outputs "as a HDFS file".
+This module models the parts of HDFS the pipeline and the cluster
+simulator care about:
+
+* files are split into fixed-size **blocks** (default 64 MiB, the Hadoop-1
+  default contemporary with the paper; configurable and set much smaller in
+  tests);
+* each block is **replicated** onto ``replication`` distinct datanodes
+  (default 3), chosen pseudo-randomly but deterministically per seed;
+* the **namenode** keeps file -> block metadata, which the simulator uses
+  for data locality (a map task is "node-local" when some replica of its
+  block lives on the node running it).
+
+Data is held in memory; this is a functional model, not a persistence
+layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import HdfsError
+from repro.utils.rng import ensure_rng
+
+DEFAULT_BLOCK_SIZE = 64 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class BlockInfo:
+    """One block of a file: id, byte size and replica placement."""
+
+    block_id: str
+    size: int
+    replicas: tuple[int, ...]  # datanode indices
+
+
+@dataclass(frozen=True)
+class FileMeta:
+    """Namenode metadata for one file."""
+
+    path: str
+    size: int
+    blocks: tuple[BlockInfo, ...]
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+
+@dataclass
+class _Datanode:
+    node_id: int
+    blocks: dict[str, bytes] = field(default_factory=dict)
+    alive: bool = True
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(len(b) for b in self.blocks.values())
+
+
+class SimulatedHDFS:
+    """In-memory HDFS with namenode metadata and datanode block stores."""
+
+    def __init__(
+        self,
+        num_datanodes: int = 4,
+        *,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        replication: int = 3,
+        seed: int = 0,
+    ):
+        if num_datanodes < 1:
+            raise HdfsError(f"need at least one datanode, got {num_datanodes}")
+        if block_size < 1:
+            raise HdfsError(f"block_size must be positive, got {block_size}")
+        if replication < 1:
+            raise HdfsError(f"replication must be >= 1, got {replication}")
+        self.block_size = block_size
+        self.replication = min(replication, num_datanodes)
+        self._datanodes = [_Datanode(i) for i in range(num_datanodes)]
+        self._namenode: dict[str, FileMeta] = {}
+        self._rng = ensure_rng(seed)
+        self._next_block = 0
+
+    # ---- namespace operations -------------------------------------------
+
+    def exists(self, path: str) -> bool:
+        """True when ``path`` is a file in the namespace."""
+        return path in self._namenode
+
+    def ls(self, prefix: str = "") -> list[str]:
+        """Paths in the namespace starting with ``prefix``, sorted."""
+        return sorted(p for p in self._namenode if p.startswith(prefix))
+
+    def stat(self, path: str) -> FileMeta:
+        """Namenode metadata for ``path``."""
+        self._check_exists(path)
+        return self._namenode[path]
+
+    def rm(self, path: str) -> None:
+        """Remove a file and free its blocks on every datanode."""
+        meta = self.stat(path)
+        for block in meta.blocks:
+            for node in block.replicas:
+                self._datanodes[node].blocks.pop(block.block_id, None)
+        del self._namenode[path]
+
+    # ---- data operations ---------------------------------------------------
+
+    def put(self, path: str, data: bytes | str, *, overwrite: bool = False) -> FileMeta:
+        """Write ``data`` to ``path``, splitting into replicated blocks."""
+        if not path or not path.startswith("/"):
+            raise HdfsError(f"HDFS paths must be absolute, got {path!r}")
+        if self.exists(path):
+            if not overwrite:
+                raise HdfsError(f"path {path!r} already exists")
+            self.rm(path)
+        payload = data.encode("ascii") if isinstance(data, str) else bytes(data)
+        blocks: list[BlockInfo] = []
+        offsets = range(0, max(len(payload), 1), self.block_size)
+        for off in offsets:
+            chunk = payload[off : off + self.block_size]
+            block_id = f"blk_{self._next_block:08d}"
+            self._next_block += 1
+            replicas = self._place_replicas()
+            for node in replicas:
+                self._datanodes[node].blocks[block_id] = chunk
+            blocks.append(BlockInfo(block_id=block_id, size=len(chunk), replicas=replicas))
+        meta = FileMeta(path=path, size=len(payload), blocks=tuple(blocks))
+        self._namenode[path] = meta
+        return meta
+
+    def get(self, path: str) -> bytes:
+        """Read a whole file back by concatenating block contents."""
+        meta = self.stat(path)
+        parts = []
+        for block in meta.blocks:
+            data = self._read_block(block)
+            parts.append(data)
+        return b"".join(parts)
+
+    def get_text(self, path: str) -> str:
+        """Read a whole file as ASCII text."""
+        return self.get(path).decode("ascii")
+
+    def read_block(self, path: str, index: int) -> bytes:
+        """Read the ``index``-th block of a file (map-task input split)."""
+        meta = self.stat(path)
+        if not 0 <= index < meta.num_blocks:
+            raise HdfsError(
+                f"block index {index} out of range for {path!r} "
+                f"({meta.num_blocks} blocks)"
+            )
+        return self._read_block(meta.blocks[index])
+
+    # ---- cluster introspection (used by the simulator) ---------------------
+
+    def locality_map(self, path: str) -> dict[int, list[int]]:
+        """``{datanode: [block indices local to it]}`` for a file."""
+        meta = self.stat(path)
+        out: dict[int, list[int]] = {n.node_id: [] for n in self._datanodes}
+        for i, block in enumerate(meta.blocks):
+            for node in block.replicas:
+                out[node].append(i)
+        return out
+
+    def datanode_usage(self) -> list[int]:
+        """Bytes stored per datanode (replication included)."""
+        return [n.used_bytes for n in self._datanodes]
+
+    @property
+    def num_datanodes(self) -> int:
+        return len(self._datanodes)
+
+    # ---- failure injection ----------------------------------------------------
+
+    def fail_datanode(self, node_id: int) -> None:
+        """Kill a datanode: its replicas become unreadable.
+
+        Reads transparently fall back to surviving replicas, as real HDFS
+        clients do; :meth:`rereplicate` restores the replication factor
+        (the namenode's block-recovery process).
+        """
+        self._check_node(node_id)
+        self._datanodes[node_id].alive = False
+
+    def restart_datanode(self, node_id: int) -> None:
+        """Bring a failed datanode back (its block store is intact)."""
+        self._check_node(node_id)
+        self._datanodes[node_id].alive = True
+
+    def rereplicate(self) -> int:
+        """Re-replicate under-replicated blocks onto live nodes.
+
+        Returns the number of new replicas created.  Blocks with no live
+        replica are irrecoverable and raise :class:`~repro.errors.HdfsError`.
+        """
+        live = [n.node_id for n in self._datanodes if n.alive]
+        created = 0
+        new_meta: dict[str, FileMeta] = {}
+        for path, meta in self._namenode.items():
+            blocks: list[BlockInfo] = []
+            for block in meta.blocks:
+                holders = [
+                    n for n in block.replicas if self._datanodes[n].alive
+                ]
+                if not holders:
+                    raise HdfsError(
+                        f"block {block.block_id} of {path!r} lost all replicas"
+                    )
+                data = self._datanodes[holders[0]].blocks[block.block_id]
+                want = min(self.replication, len(live))
+                targets = list(holders)
+                candidates = [n for n in live if n not in targets]
+                order = self._rng.permutation(len(candidates))
+                for i in order:
+                    if len(targets) >= want:
+                        break
+                    node = candidates[int(i)]
+                    self._datanodes[node].blocks[block.block_id] = data
+                    targets.append(node)
+                    created += 1
+                blocks.append(
+                    BlockInfo(
+                        block_id=block.block_id,
+                        size=block.size,
+                        replicas=tuple(sorted(targets)),
+                    )
+                )
+            new_meta[path] = FileMeta(path=path, size=meta.size, blocks=tuple(blocks))
+        self._namenode = new_meta
+        return created
+
+    @property
+    def live_datanodes(self) -> list[int]:
+        """Ids of datanodes currently alive."""
+        return [n.node_id for n in self._datanodes if n.alive]
+
+    # ---- internals -----------------------------------------------------------
+
+    def _check_node(self, node_id: int) -> None:
+        if not 0 <= node_id < len(self._datanodes):
+            raise HdfsError(
+                f"datanode {node_id} out of range "
+                f"(cluster has {len(self._datanodes)})"
+            )
+
+    def _place_replicas(self) -> tuple[int, ...]:
+        live = [n.node_id for n in self._datanodes if n.alive]
+        if not live:
+            raise HdfsError("no live datanodes to place replicas on")
+        count = min(self.replication, len(live))
+        picks = self._rng.permutation(len(live))[:count]
+        return tuple(sorted(live[int(i)] for i in picks))
+
+    def _read_block(self, block: BlockInfo) -> bytes:
+        for node in block.replicas:
+            datanode = self._datanodes[node]
+            if not datanode.alive:
+                continue
+            data = datanode.blocks.get(block.block_id)
+            if data is not None:
+                return data
+        raise HdfsError(f"all replicas of {block.block_id} are missing")
+
+    def _check_exists(self, path: str) -> None:
+        if path not in self._namenode:
+            raise HdfsError(f"path {path!r} does not exist")

@@ -1,0 +1,90 @@
+"""Map-Reduce job definitions.
+
+A job is mapper + optional combiner + reducer + partitioner.  Signatures
+follow the classic Hadoop streaming contract:
+
+* ``mapper(key, value) -> iterable of (k2, v2)``
+* ``combiner(k2, values) -> iterable of (k2, v2)`` (same key domain)
+* ``reducer(k2, values) -> iterable of (k3, v3)``
+* ``partitioner(k2, num_partitions) -> int``
+
+Mappers/reducers may optionally accept a keyword-only ``context`` (a
+:class:`~repro.mapreduce.counters.Counters` object) to emit counters; the
+runner detects this by signature inspection once per job.
+"""
+
+from __future__ import annotations
+
+import inspect
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+from repro.errors import MapReduceError
+from repro.mapreduce.shuffle import default_partitioner
+
+Mapper = Callable[..., Iterable[tuple]]
+Reducer = Callable[..., Iterable[tuple]]
+Partitioner = Callable[[object, int], int]
+
+
+def identity_mapper(key, value):
+    """Pass records through unchanged."""
+    yield key, value
+
+
+def identity_reducer(key, values):
+    """Emit each grouped value under its key."""
+    for value in values:
+        yield key, value
+
+
+def _takes_context(fn: Callable) -> bool:
+    try:
+        sig = inspect.signature(fn)
+    except (TypeError, ValueError):
+        return False
+    return "context" in sig.parameters
+
+
+@dataclass(frozen=True)
+class MapReduceJob:
+    """Immutable description of one Map-Reduce computation."""
+
+    name: str
+    mapper: Mapper
+    reducer: Reducer
+    combiner: Reducer | None = None
+    partitioner: Partitioner = default_partitioner
+    _mapper_ctx: bool = field(init=False, repr=False, compare=False, default=False)
+    _reducer_ctx: bool = field(init=False, repr=False, compare=False, default=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise MapReduceError("job name must be non-empty")
+        if not callable(self.mapper):
+            raise MapReduceError(f"mapper for job {self.name!r} is not callable")
+        if not callable(self.reducer):
+            raise MapReduceError(f"reducer for job {self.name!r} is not callable")
+        if self.combiner is not None and not callable(self.combiner):
+            raise MapReduceError(f"combiner for job {self.name!r} is not callable")
+        object.__setattr__(self, "_mapper_ctx", _takes_context(self.mapper))
+        object.__setattr__(self, "_reducer_ctx", _takes_context(self.reducer))
+
+    def run_mapper(self, key, value, counters) -> Iterable[tuple]:
+        """Invoke the mapper on one record, passing counters if accepted."""
+        if self._mapper_ctx:
+            return self.mapper(key, value, context=counters)
+        return self.mapper(key, value)
+
+    def run_reducer(self, key, values, counters) -> Iterable[tuple]:
+        """Invoke the reducer on one grouped key, passing counters if
+        accepted."""
+        if self._reducer_ctx:
+            return self.reducer(key, values, context=counters)
+        return self.reducer(key, values)
+
+    def run_combiner(self, key, values) -> Iterable[tuple]:
+        """Invoke the combiner (identity when none is configured)."""
+        if self.combiner is None:
+            return [(key, v) for v in values]
+        return self.combiner(key, values)

@@ -1,0 +1,132 @@
+"""Multiprocess job runner: real parallelism across local cores.
+
+Map tasks and reduce partitions are dispatched to a ``multiprocessing``
+pool.  Jobs must be defined with picklable (module-level) mapper/reducer
+functions — the same constraint real Hadoop streaming imposes.  On a
+single-core machine this degrades gracefully to serial execution.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Sequence
+from multiprocessing import get_context
+
+from repro.errors import MapReduceError
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.runner import JobResult, SerialRunner
+from repro.mapreduce.shuffle import shuffle
+from repro.mapreduce.types import JobConf
+from repro.utils.chunking import chunk_indices
+
+
+def _map_worker(args):
+    job, split = args
+    counters = Counters()
+    out = []
+    for key, value in split:
+        emitted = job.run_mapper(key, value, counters)
+        if emitted is not None:
+            for pair in emitted:
+                if not isinstance(pair, tuple) or len(pair) != 2:
+                    raise MapReduceError(
+                        f"mapper of job {job.name!r} emitted {pair!r}; "
+                        "expected (key, value) tuples"
+                    )
+                out.append(pair)
+    if job.combiner is not None:
+        out = SerialRunner._combine(job, out)
+    return out, counters
+
+
+def _reduce_worker(args):
+    job, groups = args
+    counters = Counters()
+    out = []
+    for key, values in groups:
+        emitted = job.run_reducer(key, values, counters)
+        if emitted is not None:
+            for pair in emitted:
+                if not isinstance(pair, tuple) or len(pair) != 2:
+                    raise MapReduceError(
+                        f"reducer of job {job.name!r} emitted {pair!r}; "
+                        "expected (key, value) tuples"
+                    )
+                out.append(pair)
+    return out, counters
+
+
+class MultiprocessRunner:
+    """Run map and reduce tasks on a local process pool."""
+
+    def __init__(self, num_workers: int | None = None):
+        if num_workers is not None and num_workers < 1:
+            raise MapReduceError(f"num_workers must be >= 1, got {num_workers}")
+        self.num_workers = num_workers or max(1, os.cpu_count() or 1)
+
+    def run(
+        self,
+        job: MapReduceJob,
+        inputs: Sequence[tuple],
+        conf: JobConf | None = None,
+    ) -> JobResult:
+        """Execute ``job`` over ``inputs`` with process-level parallelism."""
+        conf = conf or JobConf()
+        counters = Counters()
+
+        splits = [
+            list(inputs[start:stop])
+            for start, stop in chunk_indices(len(inputs), conf.num_map_tasks)
+        ]
+        # Effective combiner honours the conf flag.
+        effective = job
+        if not conf.use_combiner and job.combiner is not None:
+            effective = MapReduceJob(
+                name=job.name,
+                mapper=job.mapper,
+                reducer=job.reducer,
+                combiner=None,
+                partitioner=job.partitioner,
+            )
+
+        if self.num_workers == 1:
+            map_results = [_map_worker((effective, s)) for s in splits]
+        else:
+            ctx = get_context("spawn" if os.name == "nt" else "fork")
+            with ctx.Pool(self.num_workers) as pool:
+                map_results = pool.map(_map_worker, [(effective, s) for s in splits])
+
+        map_outputs = []
+        for out, task_counters in map_results:
+            map_outputs.append(out)
+            counters.merge(task_counters)
+        counters.increment("job", "map_input_records", len(inputs))
+        counters.increment(
+            "job", "map_output_records", sum(len(o) for o in map_outputs)
+        )
+
+        partitions, moved = shuffle(map_outputs, conf.num_reduce_tasks, job.partitioner)
+        counters.increment("job", "shuffle_records", moved)
+
+        if self.num_workers == 1:
+            reduce_results = [_reduce_worker((effective, p)) for p in partitions]
+        else:
+            ctx = get_context("spawn" if os.name == "nt" else "fork")
+            with ctx.Pool(self.num_workers) as pool:
+                reduce_results = pool.map(
+                    _reduce_worker, [(effective, p) for p in partitions]
+                )
+
+        output: list[tuple] = []
+        for out, task_counters in reduce_results:
+            output.extend(out)
+            counters.merge(task_counters)
+        counters.increment("job", "reduce_output_records", len(output))
+
+        if conf.sort_output:
+            try:
+                output.sort(key=lambda kv: kv[0])
+            except TypeError:
+                output.sort(key=lambda kv: (type(kv[0]).__name__, repr(kv[0])))
+        return JobResult(output=output, counters=counters, trace=None)

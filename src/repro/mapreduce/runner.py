@@ -1,0 +1,179 @@
+"""Serial job runner: deterministic reference execution with tracing.
+
+The serial runner executes the full map -> combine -> shuffle -> reduce
+pipeline in-process, measuring per-task CPU time and record counts into a
+:class:`~repro.mapreduce.types.JobTrace`.  Those traces are the input to
+the discrete-event cluster simulator (the real work is measured; only the
+distributed wall-clock is modeled — see DESIGN.md substitution #1).
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import MapReduceError
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.shuffle import shuffle, sort_grouped_keys  # noqa: F401 (sort_grouped_keys used by _combine)
+from repro.mapreduce.types import JobConf, JobTrace, TaskTrace
+from repro.utils.chunking import chunk_indices
+
+
+@dataclass
+class JobResult:
+    """Output records plus counters and execution trace for one job."""
+
+    output: list[tuple]
+    counters: Counters = field(default_factory=Counters)
+    trace: JobTrace | None = None
+
+
+def _approx_bytes(records: Sequence[tuple]) -> int:
+    """Approximate serialized size of records (sampled for large inputs)."""
+    n = len(records)
+    if n == 0:
+        return 0
+    sample = records if n <= 64 else [records[i] for i in range(0, n, max(1, n // 64))]
+    try:
+        per = sum(len(pickle.dumps(r, protocol=pickle.HIGHEST_PROTOCOL)) for r in sample)
+    except Exception:
+        return 0
+    return int(per / len(sample) * n)
+
+
+class SerialRunner:
+    """Run jobs sequentially in-process.
+
+    ``trace=True`` (default) records task-level statistics; turn it off for
+    micro-benchmarks where the byte-size sampling overhead matters.
+    """
+
+    def __init__(self, *, trace: bool = True):
+        self.trace = trace
+
+    def run(
+        self,
+        job: MapReduceJob,
+        inputs: Sequence[tuple],
+        conf: JobConf | None = None,
+    ) -> JobResult:
+        """Execute ``job`` over ``inputs`` (a sequence of key/value pairs)."""
+        conf = conf or JobConf()
+        counters = Counters()
+        trace = JobTrace(job_name=job.name) if self.trace else None
+
+        # ---- map phase, split into conf.num_map_tasks tasks -------------
+        map_outputs: list[list[tuple]] = []
+        for t, (start, stop) in enumerate(chunk_indices(len(inputs), conf.num_map_tasks)):
+            split = inputs[start:stop]
+            t0 = time.perf_counter()
+            out: list[tuple] = []
+            for key, value in split:
+                emitted = job.run_mapper(key, value, counters)
+                if emitted is not None:
+                    out.extend(self._validated(emitted, job.name, "mapper"))
+            if conf.use_combiner and job.combiner is not None:
+                out = self._combine(job, out)
+            elapsed = time.perf_counter() - t0
+            counters.increment("job", "map_input_records", len(split))
+            counters.increment("job", "map_output_records", len(out))
+            if trace is not None:
+                trace.map_tasks.append(
+                    TaskTrace(
+                        task_id=f"{job.name}-m{t:04d}",
+                        kind="map",
+                        records_in=len(split),
+                        records_out=len(out),
+                        bytes_in=_approx_bytes(split),
+                        bytes_out=_approx_bytes(out),
+                        cpu_seconds=elapsed,
+                    )
+                )
+            map_outputs.append(out)
+
+        # ---- shuffle -----------------------------------------------------
+        partitions, moved = shuffle(map_outputs, conf.num_reduce_tasks, job.partitioner)
+        counters.increment("job", "shuffle_records", moved)
+        if trace is not None:
+            trace.shuffle_bytes = sum(_approx_bytes(p) for p in map_outputs)
+
+        # ---- reduce phase -------------------------------------------------
+        output: list[tuple] = []
+        for r, groups in enumerate(partitions):
+            t0 = time.perf_counter()
+            records_in = sum(len(vals) for _, vals in groups)
+            out: list[tuple] = []
+            for key, values in groups:
+                emitted = job.run_reducer(key, values, counters)
+                if emitted is not None:
+                    out.extend(self._validated(emitted, job.name, "reducer"))
+            elapsed = time.perf_counter() - t0
+            counters.increment("job", "reduce_input_records", records_in)
+            counters.increment("job", "reduce_output_records", len(out))
+            if trace is not None:
+                trace.reduce_tasks.append(
+                    TaskTrace(
+                        task_id=f"{job.name}-r{r:04d}",
+                        kind="reduce",
+                        records_in=records_in,
+                        records_out=len(out),
+                        bytes_out=_approx_bytes(out),
+                        cpu_seconds=elapsed,
+                    )
+                )
+            output.extend(out)
+
+        if conf.sort_output:
+            try:
+                output.sort(key=lambda kv: kv[0])
+            except TypeError:
+                output.sort(key=lambda kv: (type(kv[0]).__name__, repr(kv[0])))
+        return JobResult(output=output, counters=counters, trace=trace)
+
+    def run_chain(
+        self,
+        jobs: Sequence[tuple[MapReduceJob, JobConf | None]],
+        inputs: Sequence[tuple],
+    ) -> tuple[JobResult, list[JobTrace]]:
+        """Run a pipeline of jobs, feeding each job's output to the next.
+
+        Returns the final result and the traces of every stage (the unit
+        the cluster simulator schedules).
+        """
+        if not jobs:
+            raise MapReduceError("run_chain requires at least one job")
+        traces: list[JobTrace] = []
+        current: Sequence[tuple] = inputs
+        result: JobResult | None = None
+        for job, conf in jobs:
+            result = self.run(job, list(current), conf)
+            if result.trace is not None:
+                traces.append(result.trace)
+            current = result.output
+        assert result is not None
+        return result, traces
+
+    @staticmethod
+    def _validated(emitted, job_name: str, stage: str):
+        for pair in emitted:
+            if not isinstance(pair, tuple) or len(pair) != 2:
+                raise MapReduceError(
+                    f"{stage} of job {job_name!r} emitted {pair!r}; "
+                    "expected (key, value) tuples"
+                )
+            yield pair
+
+    @staticmethod
+    def _combine(job: MapReduceJob, pairs: list[tuple]) -> list[tuple]:
+        from collections import defaultdict
+
+        grouped: dict[object, list] = defaultdict(list)
+        for key, value in pairs:
+            grouped[key].append(value)
+        out: list[tuple] = []
+        for key in sort_grouped_keys(grouped.keys()):
+            out.extend(job.run_combiner(key, grouped[key]))
+        return out

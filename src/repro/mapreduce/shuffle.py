@@ -1,0 +1,85 @@
+"""The shuffle: partitioning, sorting and grouping of map output.
+
+This reproduces the Hadoop contract: every intermediate ``(k2, v2)`` pair
+is routed to partition ``partitioner(k2, R)``; within each partition keys
+arrive at the reducer in sorted order with all their values grouped.  Keys
+must therefore be orderable within a job; mixed-type keys fall back to a
+``(type-name, repr)`` ordering so the engine never crashes on heterogenous
+keys (matching Hadoop's byte-comparator behaviour of "some total order").
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable
+
+from repro.errors import MapReduceError
+from repro.mapreduce.types import stable_hash
+
+
+def default_partitioner(key: object, num_partitions: int) -> int:
+    """Hash partitioner: ``stable_hash(key) % num_partitions``."""
+    return stable_hash(key) % num_partitions
+
+
+def _sort_key(key: object):
+    return (type(key).__name__, repr(key))
+
+
+def sort_grouped_keys(keys: Iterable[object]) -> list[object]:
+    """Sort keys with a homogeneous fast path and a stable fallback."""
+    keys = list(keys)
+    try:
+        return sorted(keys)
+    except TypeError:
+        return sorted(keys, key=_sort_key)
+
+
+def shuffle(
+    map_outputs: Iterable[Iterable[tuple]],
+    num_partitions: int,
+    partitioner=default_partitioner,
+) -> tuple[list[list[tuple[object, list]]], int]:
+    """Route map outputs into grouped, sorted reduce partitions.
+
+    Parameters
+    ----------
+    map_outputs:
+        One iterable of ``(k2, v2)`` pairs per map task.
+    num_partitions:
+        Number of reduce partitions ``R``.
+    partitioner:
+        ``(key, R) -> partition index`` in ``[0, R)``.
+
+    Returns
+    -------
+    ``(partitions, shuffle_records)`` where ``partitions[r]`` is a list of
+    ``(key, [values...])`` groups in sorted key order, and
+    ``shuffle_records`` counts the intermediate pairs moved (the
+    simulator converts this into network cost).
+    """
+    if num_partitions < 1:
+        raise MapReduceError(f"num_partitions must be >= 1, got {num_partitions}")
+    buckets: list[dict[object, list]] = [defaultdict(list) for _ in range(num_partitions)]
+    moved = 0
+    for task_output in map_outputs:
+        for pair in task_output:
+            try:
+                key, value = pair
+            except (TypeError, ValueError):
+                raise MapReduceError(
+                    f"map output record {pair!r} is not a (key, value) pair"
+                ) from None
+            part = partitioner(key, num_partitions)
+            if not 0 <= part < num_partitions:
+                raise MapReduceError(
+                    f"partitioner returned {part} for key {key!r}; "
+                    f"must be in [0, {num_partitions})"
+                )
+            buckets[part][key].append(value)
+            moved += 1
+    partitions: list[list[tuple[object, list]]] = []
+    for bucket in buckets:
+        ordered = sort_grouped_keys(bucket.keys())
+        partitions.append([(k, bucket[k]) for k in ordered])
+    return partitions, moved

@@ -1,0 +1,286 @@
+"""Discrete-event simulator for a Hadoop cluster.
+
+This is the substitution for the paper's Amazon Elastic MapReduce cluster
+(DESIGN.md substitution #1).  Given job traces — either recorded from real
+execution by :class:`~repro.mapreduce.runner.SerialRunner` or synthesised
+by :mod:`repro.mapreduce.workload` for sizes too large to execute — and a
+:class:`ClusterSpec`, the simulator schedules every task onto map/reduce
+slots with a locality-aware list scheduler and reports the modeled
+wall-clock of the whole pipeline.
+
+The scheduling model mirrors Hadoop 1.x:
+
+* each node offers ``map_slots`` + ``reduce_slots`` concurrent task slots;
+* map tasks of a job run first (in waves when tasks > slots), preferring
+  nodes holding a replica of their input block;
+* the shuffle starts when the *last* map task finishes (Hadoop overlaps
+  shuffle with maps, but completion is gated on the final map — the
+  barrier is what matters for makespan);
+* reduce tasks then run on reduce slots;
+* consecutive jobs of a pipeline are serialised, each paying the job
+  startup overhead.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.mapreduce.costmodel import HadoopCostModel, M1_LARGE_COST_MODEL
+from repro.mapreduce.types import JobTrace
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Shape of the modeled cluster.
+
+    Defaults match Hadoop-1 -era EMR M1 Large nodes: 2 map slots and 1
+    reduce slot per node (4 EC2 compute units).
+
+    ``straggler_fraction``/``straggler_slowdown`` model heterogeneous
+    hardware (the EC2 noisy-neighbour effect): that fraction of nodes
+    runs every task ``slowdown``× slower.  ``speculative_execution``
+    enables Hadoop's mitigation — a backup attempt of a straggling task
+    on another node, the task finishing when either attempt does.
+    """
+
+    num_nodes: int
+    map_slots_per_node: int = 2
+    reduce_slots_per_node: int = 1
+    straggler_fraction: float = 0.0
+    straggler_slowdown: float = 3.0
+    speculative_execution: bool = False
+    straggler_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise SimulationError(f"num_nodes must be >= 1, got {self.num_nodes}")
+        if self.map_slots_per_node < 1:
+            raise SimulationError("map_slots_per_node must be >= 1")
+        if self.reduce_slots_per_node < 1:
+            raise SimulationError("reduce_slots_per_node must be >= 1")
+        if not 0.0 <= self.straggler_fraction <= 1.0:
+            raise SimulationError("straggler_fraction must be in [0,1]")
+        if self.straggler_slowdown < 1.0:
+            raise SimulationError("straggler_slowdown must be >= 1")
+
+    def node_speed_factors(self) -> list[float]:
+        """Per-node duration multipliers (1.0 = nominal)."""
+        import numpy as np
+
+        rng = np.random.default_rng(self.straggler_seed)
+        n_slow = int(round(self.straggler_fraction * self.num_nodes))
+        slow = set(rng.permutation(self.num_nodes)[:n_slow].tolist())
+        return [
+            self.straggler_slowdown if node in slow else 1.0
+            for node in range(self.num_nodes)
+        ]
+
+    @property
+    def total_map_slots(self) -> int:
+        return self.num_nodes * self.map_slots_per_node
+
+    @property
+    def total_reduce_slots(self) -> int:
+        return self.num_nodes * self.reduce_slots_per_node
+
+
+@dataclass
+class JobSimReport:
+    """Modeled timings for one job."""
+
+    job_name: str
+    startup_s: float
+    map_phase_s: float
+    shuffle_s: float
+    reduce_phase_s: float
+    map_waves: int
+    locality_fraction: float
+    speculative_attempts: int = 0
+
+    @property
+    def total_s(self) -> float:
+        return self.startup_s + self.map_phase_s + self.shuffle_s + self.reduce_phase_s
+
+
+@dataclass
+class SimReport:
+    """Modeled timings for a whole pipeline."""
+
+    cluster: ClusterSpec
+    jobs: list[JobSimReport] = field(default_factory=list)
+
+    @property
+    def total_s(self) -> float:
+        return sum(j.total_s for j in self.jobs)
+
+    @property
+    def total_minutes(self) -> float:
+        return self.total_s / 60.0
+
+
+class _SlotPool:
+    """Earliest-available-slot pool over (free_time, node) entries."""
+
+    def __init__(self, num_nodes: int, slots_per_node: int):
+        self._heap: list[tuple[float, int, int]] = []
+        serial = 0
+        for node in range(num_nodes):
+            for _ in range(slots_per_node):
+                self._heap.append((0.0, serial, node))
+                serial += 1
+        heapq.heapify(self._heap)
+
+    def acquire(self) -> tuple[float, int, int]:
+        """Pop the earliest-free slot: ``(free_time, serial, node)``."""
+        return heapq.heappop(self._heap)
+
+    def release(self, free_time: float, serial: int, node: int) -> None:
+        heapq.heappush(self._heap, (free_time, serial, node))
+
+    def makespan(self) -> float:
+        return max(t for t, _, _ in self._heap) if self._heap else 0.0
+
+
+class ClusterSimulator:
+    """Schedule job traces onto a modeled cluster and report wall-clock."""
+
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        cost_model: HadoopCostModel = M1_LARGE_COST_MODEL,
+    ):
+        self.spec = spec
+        self.cost_model = cost_model
+
+    def simulate_job(
+        self,
+        trace: JobTrace,
+        *,
+        block_locality: dict[int, list[int]] | None = None,
+    ) -> JobSimReport:
+        """Model one job.
+
+        Parameters
+        ----------
+        block_locality:
+            Optional ``{node: [map-task indices local to it]}`` map (from
+            :meth:`~repro.mapreduce.hdfs.SimulatedHDFS.locality_map`).  When
+            the modeled cluster has a different node count than the HDFS
+            that produced the map, node indices are folded modulo
+            ``num_nodes`` — replicas spread across whatever nodes exist.
+        """
+        spec, model = self.spec, self.cost_model
+
+        # ---- map phase -------------------------------------------------
+        local_nodes: list[set[int]] = [set() for _ in trace.map_tasks]
+        if block_locality:
+            for node, block_indices in block_locality.items():
+                for b in block_indices:
+                    if 0 <= b < len(trace.map_tasks):
+                        local_nodes[b].add(node % spec.num_nodes)
+
+        speed = spec.node_speed_factors()
+        pool = _SlotPool(spec.num_nodes, spec.map_slots_per_node)
+        pending = list(range(len(trace.map_tasks)))
+        map_end = 0.0
+        local_hits = 0
+        scheduled = 0
+        speculated = 0
+        while pending:
+            free_time, serial, node = pool.acquire()
+            # Prefer a pending task local to this node; else take the head.
+            choice = None
+            for idx, t in enumerate(pending):
+                if node in local_nodes[t]:
+                    choice = idx
+                    break
+            if choice is None:
+                choice = 0
+            task_index = pending.pop(choice)
+            task = trace.map_tasks[task_index]
+            is_local = (not block_locality) or (node in local_nodes[task_index])
+            if is_local:
+                local_hits += 1
+            base = model.task_duration(task, local=is_local)
+            end = free_time + base * speed[node]
+            if (
+                spec.speculative_execution
+                and speed[node] > 1.0
+                and spec.total_map_slots > 1
+            ):
+                # Launch a backup attempt on a *faster* node's next free
+                # slot (the JobTracker never speculates onto an equally
+                # slow machine); the task finishes when either attempt
+                # does, and both slots stay busy until then.
+                parked = []
+                backup = None
+                while pool._heap:
+                    candidate = pool.acquire()
+                    if speed[candidate[2]] < speed[node]:
+                        backup = candidate
+                        break
+                    parked.append(candidate)
+                for free, ser, nd in parked:
+                    pool.release(free, ser, nd)
+                if backup is not None:
+                    b_free, b_serial, b_node = backup
+                    backup_start = max(b_free, free_time)
+                    backup_end = backup_start + base * speed[b_node]
+                    end = min(end, backup_end)
+                    pool.release(end, b_serial, b_node)
+                    speculated += 1
+            map_end = max(map_end, end)
+            pool.release(end, serial, node)
+            scheduled += 1
+        map_waves = (
+            -(-len(trace.map_tasks) // spec.total_map_slots)
+            if trace.map_tasks
+            else 0
+        )
+
+        # ---- shuffle -----------------------------------------------------
+        shuffle_s = model.shuffle_duration(trace, spec.num_nodes)
+
+        # ---- reduce phase -------------------------------------------------
+        rpool = _SlotPool(spec.num_nodes, spec.reduce_slots_per_node)
+        reduce_end = 0.0
+        for task in trace.reduce_tasks:
+            free_time, serial, node = rpool.acquire()
+            duration = model.task_duration(task, local=True) * speed[node]
+            end = free_time + duration
+            reduce_end = max(reduce_end, end)
+            rpool.release(end, serial, node)
+
+        return JobSimReport(
+            job_name=trace.job_name,
+            startup_s=model.job_startup_s,
+            map_phase_s=map_end,
+            shuffle_s=shuffle_s,
+            reduce_phase_s=reduce_end,
+            map_waves=map_waves,
+            locality_fraction=(local_hits / scheduled) if scheduled else 1.0,
+            speculative_attempts=speculated,
+        )
+
+    def simulate_pipeline(
+        self,
+        traces: Sequence[JobTrace],
+        *,
+        block_locality: dict[int, list[int]] | None = None,
+    ) -> SimReport:
+        """Model a chain of jobs run back-to-back (locality applies to the
+        first job, whose input comes from HDFS)."""
+        if not traces:
+            raise SimulationError("simulate_pipeline requires at least one trace")
+        report = SimReport(cluster=self.spec)
+        for i, trace in enumerate(traces):
+            report.jobs.append(
+                self.simulate_job(
+                    trace,
+                    block_locality=block_locality if i == 0 else None,
+                )
+            )
+        return report

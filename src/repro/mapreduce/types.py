@@ -1,0 +1,97 @@
+"""Core types shared by the Map-Reduce engine components."""
+
+from __future__ import annotations
+
+import pickle
+import zlib
+from dataclasses import dataclass, field
+
+from repro.errors import MapReduceError
+
+
+def stable_hash(key: object) -> int:
+    """Process-stable non-negative hash of an arbitrary picklable key.
+
+    Python's built-in ``hash`` for strings is randomised per process, which
+    would make partition assignment nondeterministic across runs and across
+    the workers of the multiprocess runner.  We hash the pickled bytes with
+    CRC32 instead — stable, fast, and good enough for load balancing.
+    """
+    try:
+        payload = pickle.dumps(key, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:  # unpicklable keys cannot cross the shuffle
+        raise MapReduceError(f"key {key!r} is not picklable: {exc}") from exc
+    return zlib.crc32(payload) & 0x7FFFFFFF
+
+
+@dataclass(frozen=True)
+class JobConf:
+    """Execution configuration for one Map-Reduce job.
+
+    Attributes
+    ----------
+    num_map_tasks:
+        How many map tasks to split the input into (Hadoop derives this
+        from HDFS block count; callers reading from
+        :class:`~repro.mapreduce.hdfs.SimulatedHDFS` typically pass the
+        file's block count).
+    num_reduce_tasks:
+        Number of reduce partitions.
+    use_combiner:
+        Run the job's combiner (when defined) on each map task's output
+        before the shuffle.
+    sort_output:
+        Sort the final output by key (Hadoop guarantees per-reducer key
+        order; sorting globally makes the serial runner deterministic).
+    """
+
+    num_map_tasks: int = 1
+    num_reduce_tasks: int = 1
+    use_combiner: bool = True
+    sort_output: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_map_tasks < 1:
+            raise MapReduceError(
+                f"num_map_tasks must be >= 1, got {self.num_map_tasks}"
+            )
+        if self.num_reduce_tasks < 1:
+            raise MapReduceError(
+                f"num_reduce_tasks must be >= 1, got {self.num_reduce_tasks}"
+            )
+
+
+@dataclass
+class TaskTrace:
+    """Record/byte accounting for one map or reduce task.
+
+    These traces drive the discrete-event simulator: the *work* a task did
+    is real (measured from actual execution); only the wall-clock a given
+    cluster would need is modeled.
+    """
+
+    task_id: str
+    kind: str  # "map" | "reduce"
+    records_in: int = 0
+    records_out: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    cpu_seconds: float = 0.0
+
+
+@dataclass
+class JobTrace:
+    """All task traces plus shuffle volume for one executed job."""
+
+    job_name: str
+    map_tasks: list[TaskTrace] = field(default_factory=list)
+    reduce_tasks: list[TaskTrace] = field(default_factory=list)
+    shuffle_bytes: int = 0
+
+    @property
+    def total_map_records(self) -> int:
+        return sum(t.records_in for t in self.map_tasks)
+
+    @property
+    def total_reduce_records(self) -> int:
+        return sum(t.records_in for t in self.reduce_tasks)

@@ -1,0 +1,43 @@
+"""Min-wise hashing (Section III-A/B of the paper).
+
+A sequence's k-mer feature set is sketched by ``n`` universal hash
+functions ``h_i(x) = ((a_i * x + b_i) mod p) mod m`` (Equation 5); the
+i-th sketch component is ``min_{x in I} h_i(x)`` (Equation 6).  The
+probability two sets share a minimum under a random permutation equals
+their Jaccard similarity (Equation 3), so comparing sketches estimates
+Jaccard without any alignment.
+"""
+
+from repro.minhash.universal import UniversalHashFamily, next_prime, is_prime
+from repro.minhash.sketch import (
+    MinHashSketch,
+    SketchingConfig,
+    compute_sketch,
+    compute_sketches,
+    sketch_matrix,
+)
+from repro.minhash.similarity import (
+    estimate_jaccard,
+    exact_jaccard,
+    positional_similarity,
+    set_similarity,
+    pairwise_similarity_matrix,
+    condensed_to_square,
+)
+
+__all__ = [
+    "UniversalHashFamily",
+    "next_prime",
+    "is_prime",
+    "MinHashSketch",
+    "SketchingConfig",
+    "compute_sketch",
+    "compute_sketches",
+    "sketch_matrix",
+    "estimate_jaccard",
+    "exact_jaccard",
+    "positional_similarity",
+    "set_similarity",
+    "pairwise_similarity_matrix",
+    "condensed_to_square",
+]

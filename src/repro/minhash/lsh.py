@@ -1,0 +1,119 @@
+"""Banded locality-sensitive hashing index over min-hash sketches.
+
+The authors' earlier MC-LSH work (refs [17]/[18]) and the MC-LSH baseline
+here rely on LSH *banding*: a sketch of ``n`` values is cut into
+``n / band_size`` bands; two sequences become lookup candidates when any
+band matches exactly.  For true Jaccard ``J`` the candidate probability is
+
+    P(candidate) = 1 - (1 - J^r)^b      (r = band size, b = band count)
+
+— an S-curve whose threshold sits near ``(1/b)^(1/r)``.  The index
+supports incremental insertion (the access pattern of greedy clustering)
+and batch queries.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable, Sequence
+
+from repro.errors import SketchError
+from repro.minhash.sketch import MinHashSketch
+
+
+class LshIndex:
+    """Band-hash index over sketches of a fixed family."""
+
+    def __init__(self, num_hashes: int, band_size: int):
+        if band_size < 1:
+            raise SketchError(f"band_size must be >= 1, got {band_size}")
+        if num_hashes % band_size != 0:
+            raise SketchError(
+                f"band_size {band_size} must divide num_hashes {num_hashes}"
+            )
+        self.num_hashes = num_hashes
+        self.band_size = band_size
+        self.num_bands = num_hashes // band_size
+        self._tables: list[dict[tuple, list[str]]] = [
+            defaultdict(list) for _ in range(self.num_bands)
+        ]
+        self._sketches: dict[str, MinHashSketch] = {}
+
+    def __len__(self) -> int:
+        return len(self._sketches)
+
+    def __contains__(self, read_id: str) -> bool:
+        return read_id in self._sketches
+
+    def _band_keys(self, sketch: MinHashSketch) -> list[tuple]:
+        if len(sketch) != self.num_hashes:
+            raise SketchError(
+                f"sketch width {len(sketch)} does not match index width "
+                f"{self.num_hashes}"
+            )
+        values = sketch.values.tolist()
+        r = self.band_size
+        return [tuple(values[b * r : (b + 1) * r]) for b in range(self.num_bands)]
+
+    def insert(self, sketch: MinHashSketch) -> None:
+        """Add a sketch to the index (read ids must be unique)."""
+        if sketch.read_id in self._sketches:
+            raise SketchError(f"read id {sketch.read_id!r} already indexed")
+        for table, key in zip(self._tables, self._band_keys(sketch)):
+            table[key].append(sketch.read_id)
+        self._sketches[sketch.read_id] = sketch
+
+    def insert_all(self, sketches: Iterable[MinHashSketch]) -> None:
+        """Add many sketches."""
+        for sketch in sketches:
+            self.insert(sketch)
+
+    def candidates(self, sketch: MinHashSketch) -> list[str]:
+        """Read ids colliding with ``sketch`` in at least one band, in
+        first-collision order (self excluded when indexed)."""
+        seen: set[str] = set()
+        out: list[str] = []
+        for table, key in zip(self._tables, self._band_keys(sketch)):
+            for read_id in table.get(key, ()):
+                if read_id != sketch.read_id and read_id not in seen:
+                    seen.add(read_id)
+                    out.append(read_id)
+        return out
+
+    def get(self, read_id: str) -> MinHashSketch:
+        """Retrieve an indexed sketch."""
+        if read_id not in self._sketches:
+            raise SketchError(f"read id {read_id!r} not in index")
+        return self._sketches[read_id]
+
+    @staticmethod
+    def candidate_probability(jaccard: float, band_size: int, num_bands: int) -> float:
+        """``1 - (1 - J^r)^b`` — the banding S-curve."""
+        if not 0.0 <= jaccard <= 1.0:
+            raise SketchError(f"jaccard must be in [0,1], got {jaccard}")
+        if band_size < 1 or num_bands < 1:
+            raise SketchError("band_size and num_bands must be >= 1")
+        return 1.0 - (1.0 - jaccard**band_size) ** num_bands
+
+    @staticmethod
+    def threshold(band_size: int, num_bands: int) -> float:
+        """Approximate Jaccard where the S-curve crosses 50 %:
+        ``(1/b)^(1/r)``."""
+        if band_size < 1 or num_bands < 1:
+            raise SketchError("band_size and num_bands must be >= 1")
+        return (1.0 / num_bands) ** (1.0 / band_size)
+
+
+def all_candidate_pairs(
+    sketches: Sequence[MinHashSketch], *, band_size: int
+) -> set[tuple[str, str]]:
+    """Candidate id pairs across a whole sketch set (order-normalised)."""
+    if not sketches:
+        return set()
+    index = LshIndex(num_hashes=len(sketches[0]), band_size=band_size)
+    pairs: set[tuple[str, str]] = set()
+    for sketch in sketches:
+        for other in index.candidates(sketch):
+            pairs.add(tuple(sorted((sketch.read_id, other))))  # type: ignore[arg-type]
+        index.insert(sketch)
+    return pairs

@@ -1,0 +1,146 @@
+"""Sketch computation for sequences (Equation 4/6 of the paper).
+
+The end-to-end transform mirrors Figure 1: DNA string -> integer encoding
+-> k-mer feature set -> per-hash minimum.  :func:`compute_sketches`
+processes a whole sample; :func:`sketch_matrix` stacks the results into an
+``(N, n)`` matrix ready for the row-partitioned pairwise similarity job.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SketchError
+from repro.minhash.universal import UniversalHashFamily
+from repro.seq.kmers import kmer_set, max_kmer_code
+from repro.seq.records import SequenceRecord
+
+
+@dataclass(frozen=True)
+class SketchingConfig:
+    """Parameters of the sketching stage.
+
+    Matches the paper's input parameters: k-mer size ``k``, number of hash
+    functions ``n`` (``$NUMHASH``), and the hash-family seed.  The paper's
+    experiments use ``k=5, n=100`` for whole-metagenome reads (Table III)
+    and ``k=15, n=50`` for 16S reads (Table V).
+    """
+
+    kmer_size: int
+    num_hashes: int
+    seed: int = 0
+    strict: bool = False  # skip (rather than reject) ambiguous bases
+
+    def __post_init__(self) -> None:
+        if self.num_hashes < 1:
+            raise SketchError(f"num_hashes must be >= 1, got {self.num_hashes}")
+        # kmer_size validity is checked by max_kmer_code below.
+        max_kmer_code(self.kmer_size)
+
+    def make_family(self) -> UniversalHashFamily:
+        """Build the hash family implied by this configuration."""
+        return UniversalHashFamily(
+            num_hashes=self.num_hashes,
+            universe_size=max_kmer_code(self.kmer_size),
+            seed=self.seed,
+        )
+
+
+@dataclass(frozen=True)
+class MinHashSketch:
+    """A fixed-size sketch (Equation 4) for one sequence.
+
+    ``values[i] = min over k-mers x of h_i(x)``.  Sketches are only
+    comparable when produced by the same hash family; ``family_key``
+    guards against accidental cross-family comparison.
+    """
+
+    read_id: str
+    values: np.ndarray
+    family_key: tuple[int, int, int] = (0, 0, 0)  # (num_hashes, universe, seed)
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=np.int64)
+        if values.ndim != 1 or values.size == 0:
+            raise SketchError(
+                f"sketch values must be a non-empty 1-D array, got shape "
+                f"{values.shape}"
+            )
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "_value_set", frozenset(values.tolist()))
+
+    @property
+    def value_set(self) -> frozenset:
+        """The sketch values as a set (for the set-based estimator of
+        Algorithm 1 line 9)."""
+        return self._value_set  # type: ignore[attr-defined]
+
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+    def compatible_with(self, other: "MinHashSketch") -> bool:
+        """True when both sketches come from the same hash family."""
+        return self.family_key == other.family_key
+
+
+def compute_sketch(
+    record: SequenceRecord,
+    config: SketchingConfig,
+    family: UniversalHashFamily | None = None,
+) -> MinHashSketch:
+    """Sketch one sequence record.
+
+    Sequences shorter than ``k`` (or whose valid windows are all ambiguous)
+    raise :class:`~repro.errors.SketchError`, since they have an empty
+    feature set.
+    """
+    if family is None:
+        family = config.make_family()
+    features = kmer_set(record.sequence, config.kmer_size, strict=config.strict)
+    if features.size == 0:
+        raise SketchError(
+            f"sequence {record.read_id!r} yields no {config.kmer_size}-mers"
+        )
+    values = family.min_hash(features)
+    key = (family.num_hashes, family.universe_size, config.seed)
+    return MinHashSketch(read_id=record.read_id, values=values, family_key=key)
+
+
+def compute_sketches(
+    records: Sequence[SequenceRecord] | Iterable[SequenceRecord],
+    config: SketchingConfig,
+) -> list[MinHashSketch]:
+    """Sketch a whole sample with a single shared hash family.
+
+    Records too short to produce any k-mer are skipped (mirrors real
+    pipelines, which drop ultra-short reads); callers needing strictness
+    can pre-validate lengths.
+    """
+    family = config.make_family()
+    out: list[MinHashSketch] = []
+    for rec in records:
+        try:
+            out.append(compute_sketch(rec, config, family))
+        except SketchError:
+            continue
+    return out
+
+
+def sketch_matrix(sketches: Sequence[MinHashSketch]) -> np.ndarray:
+    """Stack sketches into an ``(N, num_hashes)`` int64 matrix.
+
+    All sketches must share a family and length.
+    """
+    if not sketches:
+        return np.empty((0, 0), dtype=np.int64)
+    first = sketches[0]
+    for s in sketches[1:]:
+        if not s.compatible_with(first):
+            raise SketchError(
+                f"sketch {s.read_id!r} comes from a different hash family than "
+                f"{first.read_id!r}"
+            )
+    return np.vstack([s.values for s in sketches])

@@ -1,0 +1,72 @@
+"""Sketch persistence.
+
+Sketching is the pipeline's linear-cost stage; real deployments sketch
+once and re-cluster many times (threshold sweeps, linkage comparisons).
+This module saves/loads whole sketch sets as a single compressed ``.npz``
+bundle (values matrix + read ids + family key), refusing to mix bundles
+from different hash families on load.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import SketchError
+from repro.minhash.sketch import MinHashSketch, sketch_matrix
+
+_FORMAT_VERSION = 1
+
+
+def save_sketches(
+    sketches: Sequence[MinHashSketch], path: str | os.PathLike
+) -> None:
+    """Write a sketch set to ``path`` (``.npz``)."""
+    if not sketches:
+        raise SketchError("refusing to save an empty sketch set")
+    matrix = sketch_matrix(sketches)  # validates family compatibility
+    read_ids = np.array([s.read_id for s in sketches], dtype=object)
+    family_key = np.array(sketches[0].family_key, dtype=np.int64)
+    np.savez_compressed(
+        path,
+        version=np.int64(_FORMAT_VERSION),
+        values=matrix,
+        read_ids=read_ids,
+        family_key=family_key,
+    )
+
+
+def load_sketches(path: str | os.PathLike) -> list[MinHashSketch]:
+    """Load a sketch set saved by :func:`save_sketches`."""
+    try:
+        with np.load(path, allow_pickle=True) as data:
+            version = int(data["version"])
+            if version != _FORMAT_VERSION:
+                raise SketchError(
+                    f"sketch bundle version {version} unsupported "
+                    f"(expected {_FORMAT_VERSION})"
+                )
+            values = data["values"]
+            read_ids = data["read_ids"]
+            family_key = tuple(int(x) for x in data["family_key"])
+    except Exception as exc:
+        if isinstance(exc, SketchError):
+            raise
+        # numpy raises a zoo of exceptions on malformed archives
+        # (OSError, ValueError, zipfile.BadZipFile, UnpicklingError...).
+        raise SketchError(f"cannot load sketch bundle {path!r}: {exc}") from exc
+    if values.ndim != 2 or values.shape[0] != read_ids.shape[0]:
+        raise SketchError(
+            f"corrupt sketch bundle: {values.shape} values for "
+            f"{read_ids.shape[0]} ids"
+        )
+    return [
+        MinHashSketch(
+            read_id=str(read_ids[i]),
+            values=values[i],
+            family_key=family_key,  # type: ignore[arg-type]
+        )
+        for i in range(values.shape[0])
+    ]

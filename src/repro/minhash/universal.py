@@ -1,0 +1,161 @@
+"""Universal hash family ``h_i(x) = ((a_i x + b_i) mod p) mod m``.
+
+This is Equation 5 of the paper (Carter & Wegman universal hashing), used
+to simulate min-wise independent permutations without materialising them:
+instead of storing ``n`` permutations of the k-mer universe we store the
+``2n`` coefficients ``a_i``/``b_i`` (Section III-B).
+
+The prime ``p`` is chosen as the smallest prime strictly greater than the
+universe size ``m`` (the paper's ``$DIV`` parameter: "a prime number
+greater than size of feature set").  All arithmetic is performed in
+``int64``; the universe is therefore capped so that ``(p-1) * (m-1) + (p-1)``
+cannot overflow — k-mer sizes up to 15 (``m = 4**15``), which covers both
+paper settings (k = 5 for whole-metagenome, k = 15 for 16S).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SketchError
+from repro.utils.rng import ensure_rng
+
+#: Largest universe size whose products stay inside int64 (see module doc).
+MAX_UNIVERSE = 4**15
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic Miller-Rabin primality test, exact for n < 3.3e24."""
+    if n < 2:
+        return False
+    for small in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        if n % small == 0:
+            return n == small
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    # These witnesses are sufficient for all n < 3.3e24 (Sorenson & Webster).
+    for a in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def next_prime(n: int) -> int:
+    """Smallest prime strictly greater than ``n``."""
+    if n < 1:
+        raise SketchError(f"next_prime requires n >= 1, got {n}")
+    candidate = n + 1
+    if candidate <= 2:
+        return 2
+    if candidate % 2 == 0:
+        candidate += 1
+    while not is_prime(candidate):
+        candidate += 2
+    return candidate
+
+
+@dataclass(frozen=True)
+class UniversalHashFamily:
+    """``n`` universal hash functions over the universe ``[0, m)``.
+
+    Parameters
+    ----------
+    num_hashes:
+        ``n``, the number of hash functions (the paper's ``$NUMHASH``).
+    universe_size:
+        ``m``, the size of the feature universe (``4**k`` for k-mers).
+    seed:
+        Seed for drawing the ``a_i``/``b_i`` coefficients uniformly from
+        ``{0, ..., p-1}`` (``a_i`` from ``{1, ..., p-1}`` so every function
+        is a genuine permutation of Z_p before the final ``mod m``).
+    prime:
+        Optional explicit ``p``; defaults to ``next_prime(universe_size)``.
+    """
+
+    num_hashes: int
+    universe_size: int
+    seed: int = 0
+    prime: int | None = None
+    a: np.ndarray = field(init=False, repr=False, compare=False)
+    b: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.num_hashes < 1:
+            raise SketchError(f"num_hashes must be >= 1, got {self.num_hashes}")
+        if self.universe_size < 2:
+            raise SketchError(
+                f"universe_size must be >= 2, got {self.universe_size}"
+            )
+        if self.universe_size > MAX_UNIVERSE:
+            raise SketchError(
+                f"universe_size {self.universe_size} exceeds the int64-safe "
+                f"maximum {MAX_UNIVERSE} (k-mer size must be <= 15)"
+            )
+        p = self.prime if self.prime is not None else next_prime(self.universe_size)
+        if p <= self.universe_size:
+            raise SketchError(
+                f"prime {p} must exceed universe_size {self.universe_size}"
+            )
+        if not is_prime(p):
+            raise SketchError(f"{p} is not prime")
+        object.__setattr__(self, "prime", p)
+        rng = ensure_rng(self.seed)
+        a = rng.integers(1, p, size=self.num_hashes, dtype=np.int64)
+        b = rng.integers(0, p, size=self.num_hashes, dtype=np.int64)
+        object.__setattr__(self, "a", a)
+        object.__setattr__(self, "b", b)
+
+    def hash_values(self, items: np.ndarray) -> np.ndarray:
+        """Hash every item under every function.
+
+        Parameters
+        ----------
+        items:
+            1-D ``int64`` array of feature codes in ``[0, universe_size)``.
+
+        Returns
+        -------
+        Array of shape ``(num_hashes, len(items))`` with values in
+        ``[0, universe_size)``.
+        """
+        items = np.asarray(items, dtype=np.int64)
+        if items.ndim != 1:
+            raise SketchError(f"items must be 1-D, got shape {items.shape}")
+        if items.size and (items.min() < 0 or items.max() >= self.universe_size):
+            raise SketchError(
+                f"item codes must lie in [0, {self.universe_size}), got range "
+                f"[{items.min()}, {items.max()}]"
+            )
+        # (n, 1) * (1, N) broadcasting — single vectorised pass.
+        hashed = (self.a[:, None] * items[None, :] + self.b[:, None]) % self.prime
+        return hashed % self.universe_size
+
+    def min_hash(self, items: np.ndarray) -> np.ndarray:
+        """Sketch of a feature set: ``min_x h_i(x)`` per hash function.
+
+        Empty feature sets raise :class:`~repro.errors.SketchError` — a
+        sequence with no k-mers cannot be sketched.
+        """
+        items = np.asarray(items, dtype=np.int64)
+        if items.size == 0:
+            raise SketchError("cannot sketch an empty feature set")
+        return self.hash_values(items).min(axis=1)
+
+    def collision_probability(self, jaccard: float) -> float:
+        """Expected fraction of matching sketch components for a given true
+        Jaccard similarity (Equation 3: it *is* the Jaccard similarity)."""
+        if not 0.0 <= jaccard <= 1.0:
+            raise SketchError(f"jaccard must be in [0,1], got {jaccard}")
+        return jaccard

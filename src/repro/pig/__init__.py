@@ -1,0 +1,39 @@
+"""A Pig-Latin dataflow layer over the Map-Reduce engine.
+
+The paper implements MrMC-MinH "using the Pig scripting language and
+Java": Algorithm 3 is a nine-statement Pig script whose UDFs do the real
+work.  This package provides the subset of Pig needed to run that script
+verbatim:
+
+* :mod:`repro.pig.relations` — the relation/tuple data model;
+* :mod:`repro.pig.udf` — the UDF registry plus the paper's seven UDFs
+  (``FastaStorage``, ``StringGenerator``, ``TranslateToKmer``,
+  ``CalculateMinwiseHash``, ``CalculatePairwiseSimilarity``,
+  ``AgglomerativeHierarchicalClustering``, ``GreedyClustering``);
+* :mod:`repro.pig.parser` — parser for the LOAD / FOREACH…GENERATE /
+  GROUP / STORE subset (with ``$PARAM`` substitution and ``FLATTEN``);
+* :mod:`repro.pig.engine` — the interpreter, executing each statement as
+  a Map-Reduce job against a :class:`~repro.mapreduce.hdfs.SimulatedHDFS`.
+
+``MRMC_MINH_SCRIPT`` is Algorithm 3 transcribed; running it through
+:class:`~repro.pig.engine.PigEngine` reproduces the full published
+dataflow end-to-end.
+"""
+
+from repro.pig.relations import Relation
+from repro.pig.udf import UDF_REGISTRY, UdfSpec, register_udf, get_udf
+from repro.pig.parser import parse_script, Statement
+from repro.pig.engine import PigEngine, MRMC_MINH_SCRIPT, default_params
+
+__all__ = [
+    "Relation",
+    "UDF_REGISTRY",
+    "UdfSpec",
+    "register_udf",
+    "get_udf",
+    "parse_script",
+    "Statement",
+    "PigEngine",
+    "MRMC_MINH_SCRIPT",
+    "default_params",
+]

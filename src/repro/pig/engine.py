@@ -1,0 +1,508 @@
+"""The Pig interpreter: execute parsed statements as Map-Reduce jobs.
+
+Every FOREACH and GROUP statement compiles to one
+:class:`~repro.mapreduce.job.MapReduceJob` executed on the configured
+runner, so a full script run leaves a chain of
+:class:`~repro.mapreduce.types.JobTrace` records — the same observability
+the real Pig-on-Hadoop stack gives through its JobTracker, and the input
+the cluster simulator schedules.
+
+``MRMC_MINH_SCRIPT`` transcribes Algorithm 3.  Two schema clarifications
+against the paper's listing (which elides them):
+
+* ``CalculatePairwiseSimilarity`` also receives the sequence id and emits
+  ``(rowindex, seqid, simrow)`` so the clustering UDF can align matrix
+  rows and columns;
+* the clustering UDFs receive the matrix-row fields explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PigError
+from repro.mapreduce.hdfs import SimulatedHDFS
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.runner import SerialRunner
+from repro.mapreduce.types import JobConf, JobTrace
+from repro.minhash.universal import next_prime
+from repro.pig.parser import (
+    BroadcastRef,
+    FieldProj,
+    FieldRef,
+    Literal,
+    Statement,
+    UdfCall,
+    parse_script,
+)
+from repro.pig.relations import Relation
+from repro.pig.udf import get_udf
+
+#: Algorithm 3, transcribed (see module docstring for schema notes).
+MRMC_MINH_SCRIPT = """
+A = LOAD '$INPUT' USING FastaStorage AS (readid:chararray, d:int, seq:bytearray, header:chararray);
+B = FOREACH A GENERATE FLATTEN (StringGenerator(seq, readid)) AS (seq:chararray, seqid:chararray);
+C = FOREACH B GENERATE FLATTEN (TranslateToKmer(seq, seqid, $KMER)) AS (seqkmer:long, seqid2:chararray);
+E = FOREACH C GENERATE FLATTEN (CalculateMinwiseHash(seqkmer, seqid2, $NUMHASH, $DIV)) AS (minwise:long, seqid3:chararray);
+F = FOREACH E GENERATE FLATTEN (minwise), FLATTEN (seqid3);
+I = GROUP F ALL;
+J = FOREACH F GENERATE FLATTEN (CalculatePairwiseSimilarity(minwise, seqid3, I.F)) AS (rowindex:int, seqid:chararray, simrow);
+K = FOREACH J GENERATE FLATTEN (AgglomerativeHierarchicalClustering(rowindex, seqid, simrow, '$LINK', $NUMHASH, $CUTOFF)) AS (seqid4:chararray, clusterlabel:int);
+L = FOREACH I GENERATE FLATTEN (GreedyClustering(I.F, $NUMHASH, $CUTOFF)) AS (seqid5:chararray, clusterlabel2:int);
+STORE K INTO '$OUTPUT1';
+STORE L INTO '$OUTPUT2';
+"""
+
+
+def default_params(
+    *,
+    input_path: str,
+    output_hier: str = "/out/hier",
+    output_greedy: str = "/out/greedy",
+    kmer: int = 5,
+    num_hashes: int = 100,
+    cutoff: float = 0.9,
+    link: str = "average",
+) -> dict[str, object]:
+    """Parameter dictionary for ``MRMC_MINH_SCRIPT``.
+
+    ``DIV`` is derived as the paper prescribes: "a prime number greater
+    than size of feature set", i.e. ``next_prime(4**k)``.
+    """
+    return {
+        "INPUT": input_path,
+        "OUTPUT1": output_hier,
+        "OUTPUT2": output_greedy,
+        "KMER": kmer,
+        "NUMHASH": num_hashes,
+        "DIV": next_prime(4**kmer),
+        "CUTOFF": cutoff,
+        "LINK": link,
+    }
+
+
+@dataclass
+class ScriptResult:
+    """Relations, stored outputs and job traces of one script run."""
+
+    relations: dict[str, Relation]
+    stored: dict[str, str] = field(default_factory=dict)  # path -> alias
+    traces: list[JobTrace] = field(default_factory=list)
+
+
+class _RowUdfMapper:
+    """Mapper applying a row-mode UDF (or plain projection) per record."""
+
+    def __init__(self, apply_fn):
+        self.apply_fn = apply_fn
+
+    def __call__(self, key, value):
+        for out in self.apply_fn(value):
+            yield key, out
+
+
+class PigEngine:
+    """Execute Pig scripts against a simulated HDFS."""
+
+    def __init__(self, hdfs: SimulatedHDFS, *, runner=None, num_map_tasks: int = 4):
+        self.hdfs = hdfs
+        self.runner = runner or SerialRunner()
+        self.num_map_tasks = max(1, num_map_tasks)
+
+    # ---- public API ----------------------------------------------------------
+
+    def run(self, script: str, params: dict[str, object] | None = None) -> ScriptResult:
+        """Parse and execute a script; returns all relations and traces."""
+        statements = parse_script(script, params)
+        result = ScriptResult(relations={})
+        for stmt in statements:
+            if stmt.kind == "load":
+                self._exec_load(stmt, result)
+            elif stmt.kind == "foreach":
+                self._exec_foreach(stmt, result)
+            elif stmt.kind == "group":
+                self._exec_group(stmt, result)
+            elif stmt.kind == "store":
+                self._exec_store(stmt, result)
+            elif stmt.kind == "filter":
+                self._exec_filter(stmt, result)
+            elif stmt.kind == "distinct":
+                self._exec_distinct(stmt, result)
+            elif stmt.kind == "limit":
+                self._exec_limit(stmt, result)
+            elif stmt.kind == "order":
+                self._exec_order(stmt, result)
+            elif stmt.kind == "union":
+                self._exec_union(stmt, result)
+            elif stmt.kind == "join":
+                self._exec_join(stmt, result)
+            else:  # pragma: no cover - parser only emits known kinds
+                raise PigError(f"unknown statement kind {stmt.kind!r}")
+        return result
+
+    # ---- statement execution ---------------------------------------------------
+
+    def _exec_load(self, stmt: Statement, result: ScriptResult) -> None:
+        spec = get_udf(stmt.udf_name)
+        if spec.mode != "loader":
+            raise PigError(
+                f"LOAD requires a loader UDF; {stmt.udf_name!r} is {spec.mode}"
+            )
+        rows = list(spec.func(self.hdfs, stmt.path))
+        fields = stmt.schema or tuple(f"f{i}" for i in range(len(rows[0]) if rows else 1))
+        relation = Relation(name=stmt.alias, fields=fields, rows=rows)
+        relation.validate_rows()
+        result.relations[stmt.alias] = relation
+
+    def _exec_group(self, stmt: Statement, result: ScriptResult) -> None:
+        source = self._relation(stmt.source, result)
+        if stmt.group_by is None:
+            # GROUP ALL: single row ("all", [rows...]).
+            relation = Relation(
+                name=stmt.alias,
+                fields=("group", stmt.source),
+                rows=[("all", list(source.rows))],
+            )
+        else:
+            key_idx = source.field_index(stmt.group_by)
+            job = MapReduceJob(
+                name=f"pig-group-{stmt.alias}",
+                mapper=_GroupMapper(key_idx),
+                reducer=_collect_reducer,
+            )
+            res = self.runner.run(
+                job,
+                [(i, row) for i, row in enumerate(source.rows)],
+                JobConf(num_map_tasks=self.num_map_tasks, num_reduce_tasks=1),
+            )
+            if res.trace is not None:
+                result.traces.append(res.trace)
+            relation = Relation(
+                name=stmt.alias,
+                fields=("group", stmt.source),
+                rows=[(k, bag) for k, bag in res.output],
+            )
+        result.relations[stmt.alias] = relation
+
+    _FILTER_OPS = {
+        "==": lambda a, b: a == b,
+        "!=": lambda a, b: a != b,
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+    }
+
+    def _exec_filter(self, stmt: Statement, result: ScriptResult) -> None:
+        source = self._relation(stmt.source, result)
+        idx = source.field_index(stmt.filter_field)
+        op = self._FILTER_OPS[stmt.filter_op]
+        rows = [row for row in source.rows if op(row[idx], stmt.filter_value)]
+        result.relations[stmt.alias] = Relation(
+            name=stmt.alias, fields=source.fields, rows=rows
+        )
+
+    def _exec_distinct(self, stmt: Statement, result: ScriptResult) -> None:
+        source = self._relation(stmt.source, result)
+        seen: set = set()
+        rows = []
+        for row in source.rows:
+            if row not in seen:
+                seen.add(row)
+                rows.append(row)
+        result.relations[stmt.alias] = Relation(
+            name=stmt.alias, fields=source.fields, rows=rows
+        )
+
+    def _exec_limit(self, stmt: Statement, result: ScriptResult) -> None:
+        source = self._relation(stmt.source, result)
+        result.relations[stmt.alias] = Relation(
+            name=stmt.alias, fields=source.fields, rows=list(source.rows[: stmt.limit])
+        )
+
+    def _exec_order(self, stmt: Statement, result: ScriptResult) -> None:
+        source = self._relation(stmt.source, result)
+        idx = source.field_index(stmt.order_field)
+        rows = sorted(source.rows, key=lambda r: r[idx], reverse=stmt.order_desc)
+        result.relations[stmt.alias] = Relation(
+            name=stmt.alias, fields=source.fields, rows=rows
+        )
+
+    def _exec_union(self, stmt: Statement, result: ScriptResult) -> None:
+        relations = [self._relation(src, result) for src in stmt.sources]
+        first = relations[0]
+        for rel in relations[1:]:
+            if len(rel.fields) != len(first.fields):
+                raise PigError(
+                    f"UNION arity mismatch: {first.name!r} has "
+                    f"{len(first.fields)} fields, {rel.name!r} has "
+                    f"{len(rel.fields)}"
+                )
+        rows = [row for rel in relations for row in rel.rows]
+        result.relations[stmt.alias] = Relation(
+            name=stmt.alias, fields=first.fields, rows=rows
+        )
+
+    def _exec_join(self, stmt: Statement, result: ScriptResult) -> None:
+        """Equi-join as a reduce-side Map-Reduce job (Pig's default join):
+        both inputs are tagged and shuffled on the join key; each reducer
+        cross-products the two sides of its key group."""
+        left = self._relation(stmt.source, result)
+        right = self._relation(stmt.join_source, result)
+        left_idx = left.field_index(stmt.join_left)
+        right_idx = right.field_index(stmt.join_right)
+
+        job = MapReduceJob(
+            name=f"pig-join-{stmt.alias}",
+            mapper=_JoinMapper(),
+            reducer=_JoinReducer(),
+        )
+        inputs = [(("L", row[left_idx]), row) for row in left.rows]
+        inputs += [(("R", row[right_idx]), row) for row in right.rows]
+        res = self.runner.run(
+            job,
+            inputs,
+            JobConf(num_map_tasks=self.num_map_tasks, num_reduce_tasks=1),
+        )
+        if res.trace is not None:
+            result.traces.append(res.trace)
+        # Disambiguate duplicated field names Pig-style: alias::field.
+        fields = tuple(f"{stmt.source}::{f}" for f in left.fields) + tuple(
+            f"{stmt.join_source}::{f}" for f in right.fields
+        )
+        relation = Relation(
+            name=stmt.alias,
+            fields=fields,
+            rows=[row for _key, row in res.output],
+        )
+        relation.validate_rows()
+        result.relations[stmt.alias] = relation
+
+    def _exec_store(self, stmt: Statement, result: ScriptResult) -> None:
+        relation = self._relation(stmt.alias, result)
+        lines = ["\t".join(str(v) for v in row) for row in relation.rows]
+        self.hdfs.put(stmt.path, "\n".join(lines) + "\n", overwrite=True)
+        result.stored[stmt.path] = stmt.alias
+
+    def _exec_foreach(self, stmt: Statement, result: ScriptResult) -> None:
+        source = self._relation(stmt.source, result)
+
+        # Pure projection (possibly FLATTEN-wrapped field refs).
+        if all(isinstance(item, FieldProj) for item in stmt.items):
+            indices = [source.field_index(item.name) for item in stmt.items]
+            rows = [tuple(row[i] for i in indices) for row in source.rows]
+            relation = Relation(
+                name=stmt.alias,
+                fields=tuple(item.name for item in stmt.items),
+                rows=rows,
+            )
+            result.relations[stmt.alias] = relation
+            return
+
+        if len(stmt.items) != 1 or not isinstance(stmt.items[0], UdfCall):
+            raise PigError(
+                f"line {stmt.line}: GENERATE supports either a projection "
+                "list or a single FLATTEN(Udf(...)) call"
+            )
+        call = stmt.items[0]
+        spec = get_udf(call.udf_name)
+        if spec.mode == "loader":
+            raise PigError(f"loader UDF {call.udf_name!r} cannot run in FOREACH")
+
+        if spec.mode == "row":
+            rows = self._run_row_udf(stmt, call, spec, source, result)
+        else:
+            rows = self._run_grouped_udf(stmt, call, spec, source, result)
+
+        fields = call.schema or tuple(
+            f"f{i}" for i in range(len(rows[0]) if rows else 1)
+        )
+        relation = Relation(name=stmt.alias, fields=fields, rows=rows)
+        relation.validate_rows()
+        result.relations[stmt.alias] = relation
+
+    # ---- UDF execution -----------------------------------------------------------
+
+    def _resolve_static(self, arg, result: ScriptResult):
+        """Resolve literal/broadcast args (same value for every row)."""
+        if isinstance(arg, Literal):
+            return arg.value
+        if isinstance(arg, BroadcastRef):
+            rel = self._relation(arg.alias, result)
+            # Alias.Field on a GROUP result yields the grouped bag; on a
+            # plain relation it yields the column.
+            if rel.fields == ("group", arg.field):
+                bags = [bag for _key, bag in rel.rows]
+                if len(bags) == 1:
+                    return bags[0]
+                return [row for bag in bags for row in bag]
+            return rel.column(arg.field)
+        raise PigError(f"argument {arg!r} is not static")
+
+    def _run_row_udf(self, stmt, call, spec, source, result) -> list[tuple]:
+        static = {
+            i: self._resolve_static(arg, result)
+            for i, arg in enumerate(call.args)
+            if not isinstance(arg, FieldRef)
+        }
+        field_idx = {
+            i: source.field_index(arg.name)
+            for i, arg in enumerate(call.args)
+            if isinstance(arg, FieldRef)
+        }
+
+        def apply_fn(row):
+            args = [
+                static[i] if i in static else row[field_idx[i]]
+                for i in range(len(call.args))
+            ]
+            out = spec.func(*args)
+            return list(out) if out is not None else []
+
+        job = MapReduceJob(
+            name=f"pig-foreach-{stmt.alias}",
+            mapper=_RowUdfMapper(apply_fn),
+            reducer=_flatten_reducer,
+        )
+        res = self.runner.run(
+            job,
+            [(i, row) for i, row in enumerate(source.rows)],
+            JobConf(num_map_tasks=self.num_map_tasks, num_reduce_tasks=1),
+        )
+        if res.trace is not None:
+            result.traces.append(res.trace)
+        return [row for _key, row in res.output]
+
+    def _run_grouped_udf(self, stmt, call, spec, source, result) -> list[tuple]:
+        literals = [
+            self._resolve_static(arg, result)
+            for arg in call.args
+            if not isinstance(arg, FieldRef)
+        ]
+        field_args = [arg for arg in call.args if isinstance(arg, FieldRef)]
+
+        if spec.group_key is not None:
+            # Group rows by the key field; bag = the other field per row.
+            if len(field_args) < 2:
+                raise PigError(
+                    f"grouped UDF {call.udf_name!r} needs a value field and "
+                    "a key field"
+                )
+            key_ref = call.args[spec.group_key]
+            if not isinstance(key_ref, FieldRef):
+                raise PigError(
+                    f"grouped UDF {call.udf_name!r}: group_key argument must "
+                    "be a field reference"
+                )
+            key_idx = source.field_index(key_ref.name)
+            value_fields = [
+                source.field_index(arg.name)
+                for arg in field_args
+                if arg.name != key_ref.name
+            ]
+            job = MapReduceJob(
+                name=f"pig-foreach-{stmt.alias}",
+                mapper=_KeyedMapper(key_idx, value_fields),
+                reducer=_GroupedUdfReducer(spec.func, literals),
+            )
+            res = self.runner.run(
+                job,
+                [(i, row) for i, row in enumerate(source.rows)],
+                JobConf(num_map_tasks=self.num_map_tasks, num_reduce_tasks=1),
+            )
+            if res.trace is not None:
+                result.traces.append(res.trace)
+            return [row for _key, row in res.output]
+
+        # GROUP-ALL semantics: one bag from the whole input.
+        if field_args:
+            indices = [source.field_index(arg.name) for arg in field_args]
+            if len(indices) == 1:
+                bag = [row[indices[0]] for row in source.rows]
+            else:
+                bag = [tuple(row[i] for i in indices) for row in source.rows]
+        else:
+            # Bag comes from a broadcast reference (e.g. GreedyClustering(I.F, ...)).
+            broadcasts = [a for a in call.args if isinstance(a, BroadcastRef)]
+            if not broadcasts:
+                raise PigError(
+                    f"grouped UDF {call.udf_name!r} has neither field "
+                    "references nor a broadcast bag"
+                )
+            bag = self._resolve_static(broadcasts[0], result)
+            literals = [
+                self._resolve_static(a, result)
+                for a in call.args
+                if isinstance(a, Literal)
+            ]
+        out = spec.func(bag, *literals)
+        return list(out) if out is not None else []
+
+    def _relation(self, alias: str, result: ScriptResult) -> Relation:
+        if alias not in result.relations:
+            raise PigError(f"unknown relation {alias!r}")
+        return result.relations[alias]
+
+
+# ---- picklable job pieces --------------------------------------------------------
+
+
+class _GroupMapper:
+    def __init__(self, key_idx: int):
+        self.key_idx = key_idx
+
+    def __call__(self, key, row):
+        yield row[self.key_idx], row
+
+
+def _collect_reducer(key, values):
+    yield key, list(values)
+
+
+def _flatten_reducer(key, values):
+    for value in values:
+        yield key, value
+
+
+class _JoinMapper:
+    """Route tagged join inputs by their key: ('L'|'R', key) -> key."""
+
+    def __call__(self, tagged_key, row):
+        side, key = tagged_key
+        yield key, (side, row)
+
+
+class _JoinReducer:
+    """Cross-product the two sides of one key group."""
+
+    def __call__(self, key, values):
+        lefts = [row for side, row in values if side == "L"]
+        rights = [row for side, row in values if side == "R"]
+        for lrow in lefts:
+            for rrow in rights:
+                yield key, tuple(lrow) + tuple(rrow)
+
+
+class _KeyedMapper:
+    def __init__(self, key_idx: int, value_fields: list[int]):
+        self.key_idx = key_idx
+        self.value_fields = value_fields
+
+    def __call__(self, key, row):
+        if len(self.value_fields) == 1:
+            value = row[self.value_fields[0]]
+        else:
+            value = tuple(row[i] for i in self.value_fields)
+        yield row[self.key_idx], value
+
+
+class _GroupedUdfReducer:
+    def __init__(self, func, literals):
+        self.func = func
+        self.literals = literals
+
+    def __call__(self, key, values):
+        out = self.func(list(values), key, *self.literals)
+        if out is not None:
+            for row in out:
+                yield key, row

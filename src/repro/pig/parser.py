@@ -1,0 +1,400 @@
+"""Parser for the Pig-Latin subset Algorithm 3 uses.
+
+Supported statements (case-insensitive keywords, ``;`` terminated,
+``--`` comments, ``$NAME`` parameter substitution):
+
+* ``alias = LOAD '<path>' USING <Udf> [AS (<schema>)];``
+* ``alias = FOREACH <src> GENERATE <item> [, <item>...];`` where an item
+  is ``FLATTEN(<Udf>(<args>)) [AS (<schema>)]``, ``FLATTEN(<field>)`` or
+  a bare ``<field>``;
+* ``alias = GROUP <src> ALL;`` / ``alias = GROUP <src> BY <field>;``
+* ``STORE <alias> INTO '<path>';``
+
+Arguments inside a UDF call may be field names, ``Alias.Field``
+broadcast references (Pig scalar projection), quoted strings, or numeric
+literals.  Schema entries ``name:type`` keep only the name (like Pig,
+types are advisory).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import PigParseError
+
+
+@dataclass(frozen=True)
+class FieldRef:
+    """Reference to a field of the FOREACH input relation."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class BroadcastRef:
+    """``Alias.Field`` reference to another relation's column/bag."""
+
+    alias: str
+    field: str
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant argument (string or number)."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class UdfCall:
+    """A UDF invocation inside GENERATE."""
+
+    udf_name: str
+    args: tuple
+    schema: tuple[str, ...] = ()
+    flatten: bool = True
+
+
+@dataclass(frozen=True)
+class FieldProj:
+    """A bare (or FLATTEN-wrapped) field projection inside GENERATE."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Statement:
+    """One parsed statement."""
+
+    kind: str  # load | foreach | group | store | filter | distinct | limit | order | union
+    alias: str = ""
+    source: str = ""
+    path: str = ""
+    udf_name: str = ""
+    schema: tuple[str, ...] = ()
+    items: tuple = ()
+    group_by: str | None = None  # None means GROUP ALL
+    # FILTER: field <op> literal
+    filter_field: str = ""
+    filter_op: str = ""
+    filter_value: object = None
+    # LIMIT
+    limit: int = 0
+    # ORDER BY
+    order_field: str = ""
+    order_desc: bool = False
+    # UNION
+    sources: tuple[str, ...] = ()
+    # JOIN: source BY join_left, join_source BY join_right
+    join_source: str = ""
+    join_left: str = ""
+    join_right: str = ""
+    line: int = 0
+
+
+_SCHEMA_ENTRY = re.compile(r"^\s*([A-Za-z_][\w]*)\s*(?::\s*[\w()]+)?\s*$")
+
+
+def _parse_schema(text: str, line: int) -> tuple[str, ...]:
+    names = []
+    for entry in _split_top_level(text):
+        m = _SCHEMA_ENTRY.match(entry)
+        if not m:
+            raise PigParseError(f"bad schema entry {entry!r}", line)
+        names.append(m.group(1))
+    if not names:
+        raise PigParseError("empty schema", line)
+    return tuple(names)
+
+
+def _split_top_level(text: str) -> list[str]:
+    """Split on commas not nested inside parentheses or quotes."""
+    parts: list[str] = []
+    depth = 0
+    quote = None
+    current: list[str] = []
+    for ch in text:
+        if quote:
+            current.append(ch)
+            if ch == quote:
+                quote = None
+            continue
+        if ch in "'\"":
+            quote = ch
+            current.append(ch)
+        elif ch == "(":
+            depth += 1
+            current.append(ch)
+        elif ch == ")":
+            depth -= 1
+            current.append(ch)
+        elif ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+_NUMBER = re.compile(r"^-?\d+(\.\d+)?$")
+_NAME = re.compile(r"^[A-Za-z_][\w]*$")
+_DOTTED = re.compile(r"^([A-Za-z_][\w]*)\.([A-Za-z_][\w]*)$")
+
+
+def _parse_arg(text: str, line: int):
+    text = text.strip()
+    if not text:
+        raise PigParseError("empty UDF argument", line)
+    if text[0] in "'\"":
+        if len(text) < 2 or text[-1] != text[0]:
+            raise PigParseError(f"unterminated string {text!r}", line)
+        return Literal(text[1:-1])
+    if _NUMBER.match(text):
+        return Literal(float(text) if "." in text else int(text))
+    m = _DOTTED.match(text)
+    if m:
+        return BroadcastRef(alias=m.group(1), field=m.group(2))
+    if _NAME.match(text):
+        return FieldRef(text)
+    raise PigParseError(f"cannot parse argument {text!r}", line)
+
+
+_FLATTEN_CALL = re.compile(
+    r"^FLATTEN\s*\(\s*([A-Za-z_][\w]*)\s*\((.*)\)\s*\)\s*"
+    r"(?:AS\s*\((.*)\))?$",
+    re.IGNORECASE | re.DOTALL,
+)
+_FLATTEN_FIELD = re.compile(
+    r"^FLATTEN\s*\(\s*([A-Za-z_][\w]*)\s*\)$", re.IGNORECASE
+)
+
+
+def _parse_generate_item(text: str, line: int):
+    text = text.strip()
+    m = _FLATTEN_CALL.match(text)
+    if m:
+        udf_name, arg_text, schema_text = m.group(1), m.group(2), m.group(3)
+        args = tuple(
+            _parse_arg(a, line) for a in _split_top_level(arg_text) if a.strip()
+        )
+        schema = _parse_schema(schema_text, line) if schema_text else ()
+        return UdfCall(udf_name=udf_name, args=args, schema=schema, flatten=True)
+    m = _FLATTEN_FIELD.match(text)
+    if m:
+        return FieldProj(m.group(1))
+    if _NAME.match(text):
+        return FieldProj(text)
+    raise PigParseError(f"cannot parse GENERATE item {text!r}", line)
+
+
+_LOAD = re.compile(
+    r"^([A-Za-z_][\w]*)\s*=\s*LOAD\s+'([^']*)'\s+USING\s+([A-Za-z_][\w]*)"
+    r"(?:\s*\(\s*\))?\s*(?:AS\s*\((.*)\))?$",
+    re.IGNORECASE | re.DOTALL,
+)
+_FOREACH = re.compile(
+    r"^([A-Za-z_][\w]*)\s*=\s*FOREACH\s+([A-Za-z_][\w]*)\s+GENERATE\s+(.*)$",
+    re.IGNORECASE | re.DOTALL,
+)
+_GROUP = re.compile(
+    r"^([A-Za-z_][\w]*)\s*=\s*GROUP\s+([A-Za-z_][\w]*)\s+"
+    r"(ALL|BY\s+[A-Za-z_][\w]*)$",
+    re.IGNORECASE,
+)
+_STORE = re.compile(
+    r"^STORE\s+([A-Za-z_][\w]*)\s+INTO\s+'([^']*)'$", re.IGNORECASE
+)
+_FILTER = re.compile(
+    r"^([A-Za-z_][\w]*)\s*=\s*FILTER\s+([A-Za-z_][\w]*)\s+BY\s+"
+    r"([A-Za-z_][\w]*)\s*(==|!=|>=|<=|>|<)\s*(.+)$",
+    re.IGNORECASE,
+)
+_DISTINCT = re.compile(
+    r"^([A-Za-z_][\w]*)\s*=\s*DISTINCT\s+([A-Za-z_][\w]*)$", re.IGNORECASE
+)
+_LIMIT = re.compile(
+    r"^([A-Za-z_][\w]*)\s*=\s*LIMIT\s+([A-Za-z_][\w]*)\s+(\d+)$", re.IGNORECASE
+)
+_ORDER = re.compile(
+    r"^([A-Za-z_][\w]*)\s*=\s*ORDER\s+([A-Za-z_][\w]*)\s+BY\s+"
+    r"([A-Za-z_][\w]*)\s*(DESC|ASC)?$",
+    re.IGNORECASE,
+)
+_UNION = re.compile(
+    r"^([A-Za-z_][\w]*)\s*=\s*UNION\s+(.+)$", re.IGNORECASE
+)
+_JOIN = re.compile(
+    r"^([A-Za-z_][\w]*)\s*=\s*JOIN\s+([A-Za-z_][\w]*)\s+BY\s+([A-Za-z_][\w]*)"
+    r"\s*,\s*([A-Za-z_][\w]*)\s+BY\s+([A-Za-z_][\w]*)$",
+    re.IGNORECASE,
+)
+
+
+def substitute_params(text: str, params: dict[str, object]) -> str:
+    """Replace ``$NAME`` occurrences with ``str(params[NAME])``."""
+
+    def repl(m: re.Match) -> str:
+        name = m.group(1)
+        if name not in params:
+            raise PigParseError(f"undefined parameter ${name}")
+        return str(params[name])
+
+    return re.sub(r"\$([A-Za-z_][\w]*)", repl, text)
+
+
+def parse_script(text: str, params: dict[str, object] | None = None) -> list[Statement]:
+    """Parse a script into statements (after parameter substitution)."""
+    if params:
+        text = substitute_params(text, params)
+    # Strip -- comments, then split on ';'.
+    lines = []
+    for raw in text.splitlines():
+        stripped = raw.split("--", 1)[0]
+        lines.append(stripped)
+    body = "\n".join(lines)
+    statements: list[Statement] = []
+    offset = 1
+    for chunk in body.split(";"):
+        stmt_text = chunk.strip()
+        line = offset + chunk[: len(chunk) - len(chunk.lstrip())].count("\n")
+        offset += chunk.count("\n")
+        if not stmt_text:
+            continue
+        normalized = " ".join(stmt_text.split())
+        m = _LOAD.match(stmt_text) or _LOAD.match(normalized)
+        if m:
+            schema = _parse_schema(m.group(4), line) if m.group(4) else ()
+            statements.append(
+                Statement(
+                    kind="load",
+                    alias=m.group(1),
+                    path=m.group(2),
+                    udf_name=m.group(3),
+                    schema=schema,
+                    line=line,
+                )
+            )
+            continue
+        m = _FOREACH.match(normalized)
+        if m:
+            items = tuple(
+                _parse_generate_item(item, line)
+                for item in _split_top_level(m.group(3))
+            )
+            if not items:
+                raise PigParseError("FOREACH with empty GENERATE list", line)
+            statements.append(
+                Statement(
+                    kind="foreach",
+                    alias=m.group(1),
+                    source=m.group(2),
+                    items=items,
+                    line=line,
+                )
+            )
+            continue
+        m = _GROUP.match(normalized)
+        if m:
+            tail = m.group(3)
+            group_by = None if tail.upper() == "ALL" else tail.split()[1]
+            statements.append(
+                Statement(
+                    kind="group",
+                    alias=m.group(1),
+                    source=m.group(2),
+                    group_by=group_by,
+                    line=line,
+                )
+            )
+            continue
+        m = _STORE.match(normalized)
+        if m:
+            statements.append(
+                Statement(kind="store", alias=m.group(1), path=m.group(2), line=line)
+            )
+            continue
+        m = _FILTER.match(normalized)
+        if m:
+            value = _parse_arg(m.group(5), line)
+            if not isinstance(value, Literal):
+                raise PigParseError(
+                    "FILTER comparisons support literal right-hand sides only",
+                    line,
+                )
+            statements.append(
+                Statement(
+                    kind="filter",
+                    alias=m.group(1),
+                    source=m.group(2),
+                    filter_field=m.group(3),
+                    filter_op=m.group(4),
+                    filter_value=value.value,
+                    line=line,
+                )
+            )
+            continue
+        m = _DISTINCT.match(normalized)
+        if m:
+            statements.append(
+                Statement(kind="distinct", alias=m.group(1), source=m.group(2), line=line)
+            )
+            continue
+        m = _LIMIT.match(normalized)
+        if m:
+            statements.append(
+                Statement(
+                    kind="limit",
+                    alias=m.group(1),
+                    source=m.group(2),
+                    limit=int(m.group(3)),
+                    line=line,
+                )
+            )
+            continue
+        m = _ORDER.match(normalized)
+        if m:
+            statements.append(
+                Statement(
+                    kind="order",
+                    alias=m.group(1),
+                    source=m.group(2),
+                    order_field=m.group(3),
+                    order_desc=(m.group(4) or "").upper() == "DESC",
+                    line=line,
+                )
+            )
+            continue
+        m = _JOIN.match(normalized)
+        if m:
+            statements.append(
+                Statement(
+                    kind="join",
+                    alias=m.group(1),
+                    source=m.group(2),
+                    join_left=m.group(3),
+                    join_source=m.group(4),
+                    join_right=m.group(5),
+                    line=line,
+                )
+            )
+            continue
+        m = _UNION.match(normalized)
+        if m:
+            sources = tuple(s.strip() for s in m.group(2).split(","))
+            if len(sources) < 2 or not all(_NAME.match(s) for s in sources):
+                raise PigParseError(
+                    f"UNION needs two or more relation names, got {m.group(2)!r}",
+                    line,
+                )
+            statements.append(
+                Statement(kind="union", alias=m.group(1), sources=sources, line=line)
+            )
+            continue
+        raise PigParseError(f"cannot parse statement: {normalized[:80]!r}", line)
+    if not statements:
+        raise PigParseError("script contains no statements")
+    return statements

@@ -1,0 +1,63 @@
+"""Pig data model: relations of tuples with named fields."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PigError
+
+
+@dataclass
+class Relation:
+    """A named bag of tuples with a flat field schema.
+
+    Pig relations are bags of tuples; fields are accessed by name.  We
+    keep the schema as a simple name tuple (types are not enforced —
+    neither does Pig until a UDF complains).
+    """
+
+    name: str
+    fields: tuple[str, ...]
+    rows: list[tuple] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise PigError("relation name must be non-empty")
+        if not self.fields:
+            raise PigError(f"relation {self.name!r} must declare fields")
+        if len(set(self.fields)) != len(self.fields):
+            raise PigError(
+                f"relation {self.name!r} has duplicate fields {self.fields}"
+            )
+
+    def field_index(self, name: str) -> int:
+        """Index of a field by name."""
+        try:
+            return self.fields.index(name)
+        except ValueError:
+            raise PigError(
+                f"relation {self.name!r} has no field {name!r} "
+                f"(fields: {list(self.fields)})"
+            ) from None
+
+    def column(self, name: str) -> list:
+        """All values of one field."""
+        idx = self.field_index(name)
+        return [row[idx] for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def validate_rows(self) -> None:
+        """Check every row's arity against the schema."""
+        width = len(self.fields)
+        for i, row in enumerate(self.rows):
+            if not isinstance(row, tuple) or len(row) != width:
+                raise PigError(
+                    f"relation {self.name!r} row {i} has arity "
+                    f"{len(row) if isinstance(row, tuple) else 'non-tuple'}; "
+                    f"schema expects {width}"
+                )

@@ -1,0 +1,209 @@
+"""UDF registry and the paper's seven user-defined functions.
+
+Pig UDFs come in flavours; we model the three Algorithm 3 needs:
+
+* ``loader`` — used in ``LOAD ... USING Udf`` (``FastaStorage``);
+* ``row`` — applied per input tuple inside ``FOREACH ... GENERATE``;
+  returning an iterable of tuples which ``FLATTEN`` expands;
+* ``grouped`` — *algebraic* UDFs that need all rows sharing a key (e.g.
+  ``CalculateMinwiseHash`` needs every k-mer of a sequence).  The engine
+  inserts the implicit GROUP BY (``group_key`` names the UDF argument to
+  group on), exactly the rewrite Pig's combiner-aware algebraic interface
+  performs.
+
+Values flowing between UDFs are plain Python tuples; min-wise signatures
+travel as tuples of ints so they survive the (pickling) shuffle.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PigError
+from repro.cluster.greedy import greedy_cluster
+from repro.cluster.hierarchical import agglomerative_cluster
+from repro.minhash.sketch import MinHashSketch
+from repro.minhash.universal import UniversalHashFamily
+from repro.seq.alphabet import sanitize
+from repro.seq.fasta import read_fasta_text
+from repro.seq.kmers import kmer_codes
+
+
+@dataclass(frozen=True)
+class UdfSpec:
+    """A registered UDF: callable plus execution flavour."""
+
+    name: str
+    func: Callable
+    mode: str = "row"  # "row" | "grouped" | "loader"
+    #: For grouped UDFs: index of the argument carrying the grouping key,
+    #: or ``None`` to group the whole relation (GROUP ALL semantics).
+    group_key: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("row", "grouped", "loader"):
+            raise PigError(f"unknown UDF mode {self.mode!r}")
+        if self.mode != "grouped" and self.group_key is not None:
+            raise PigError(
+                f"UDF {self.name!r}: group_key only applies to grouped mode"
+            )
+
+
+UDF_REGISTRY: dict[str, UdfSpec] = {}
+
+
+def register_udf(
+    name: str, *, mode: str = "row", group_key: int | None = None
+) -> Callable:
+    """Decorator registering a UDF under ``name``."""
+
+    def wrap(func: Callable) -> Callable:
+        if name in UDF_REGISTRY:
+            raise PigError(f"UDF {name!r} is already registered")
+        UDF_REGISTRY[name] = UdfSpec(name=name, func=func, mode=mode, group_key=group_key)
+        return func
+
+    return wrap
+
+
+def get_udf(name: str) -> UdfSpec:
+    """Look up a UDF by name."""
+    if name not in UDF_REGISTRY:
+        raise PigError(
+            f"unknown UDF {name!r}; registered: {sorted(UDF_REGISTRY)}"
+        )
+    return UDF_REGISTRY[name]
+
+
+# --------------------------------------------------------------------------
+# Algorithm 3's UDFs
+# --------------------------------------------------------------------------
+
+
+@register_udf("FastaStorage", mode="loader")
+def fasta_storage(hdfs, path: str):
+    """``LOAD '$INPUT' using FastaStorage as (readid, d, seq, header)``."""
+    text = hdfs.get_text(path)
+    for rec in read_fasta_text(text):
+        yield (rec.read_id, len(rec.sequence), rec.sequence, rec.header)
+
+
+@register_udf("StringGenerator")
+def string_generator(seq, seqid):
+    """Normalise the DNA alphabet (Step 2): upper-case, drop ambiguity
+    codes — the integer encoding itself happens inside TranslateToKmer."""
+    cleaned = sanitize(str(seq))
+    if not cleaned:
+        return
+    yield (cleaned, seqid)
+
+
+@register_udf("TranslateToKmer")
+def translate_to_kmer(seq, seqid, kmer_size):
+    """Explode a sequence into (k-mer code, seqid) rows (Step 3)."""
+    k = int(kmer_size)
+    codes = kmer_codes(str(seq), k, strict=False)
+    for code in codes.tolist():
+        yield (code, seqid)
+
+
+@register_udf("CalculateMinwiseHash", mode="grouped", group_key=1)
+def calculate_minwise_hash(kmer_bag, seqid, num_hashes, div, *, _kmer_size=None):
+    """Min-wise signature of one sequence's k-mer bag (Step 4).
+
+    Grouped UDF: ``kmer_bag`` holds every k-mer code of the sequence
+    ``seqid``.  ``div`` is the paper's ``$DIV`` prime (p > m); the
+    universe size m is recovered as the largest power of four below p,
+    matching ``$DIV = next_prime(4**k)`` as the engine's default params
+    construct it.
+    """
+    p = int(div)
+    n = int(num_hashes)
+    m = 4
+    while m * 4 < p:
+        m *= 4
+    family = UniversalHashFamily(num_hashes=n, universe_size=m, prime=p, seed=0)
+    items = np.unique(np.asarray(list(kmer_bag), dtype=np.int64))
+    if items.size == 0:
+        return
+    values = family.min_hash(items)
+    yield (tuple(int(v) for v in values), seqid)
+
+
+@register_udf("CalculatePairwiseSimilarity")
+def calculate_pairwise_similarity(minwise, seqid, all_rows):
+    """One row of the all-pairs similarity matrix (Step 7).
+
+    ``all_rows`` is the broadcast bag (Pig's ``I.F`` scalar reference):
+    the full list of (minwise, seqid) tuples in relation order.  Emits
+    ``(row_index, seqid, (similarities...))`` using the positional
+    estimator — ``row_index`` is this sequence's position in the broadcast
+    bag so the downstream clustering UDF can align rows and columns.
+    """
+    mine = np.asarray(minwise, dtype=np.int64)
+    row_index = -1
+    sims = []
+    for idx, (other_minwise, other_id) in enumerate(all_rows):
+        other = np.asarray(other_minwise, dtype=np.int64)
+        sims.append(float(np.mean(mine == other)))
+        if other_id == seqid and row_index < 0:
+            row_index = idx
+    if row_index < 0:
+        raise PigError(f"sequence {seqid!r} missing from the broadcast bag")
+    yield (row_index, seqid, tuple(sims))
+
+
+@register_udf("AgglomerativeHierarchicalClustering", mode="grouped")
+def agglomerative_hierarchical_clustering(row_bag, link, num_hashes, cutoff):
+    """Assemble the matrix rows and agglomerate (Step 8).
+
+    Grouped over the whole relation (GROUP ALL): ``row_bag`` holds every
+    ``(row_index, seqid, similarity_row)`` tuple.  Emits ``(seqid, label)``
+    rows.
+    """
+    rows = sorted(row_bag, key=lambda r: r[0])
+    ids = [r[1] for r in rows]
+    matrix = np.asarray([r[2] for r in rows], dtype=np.float64)
+    if matrix.shape[0] != matrix.shape[1]:
+        raise PigError(
+            f"similarity rows form a {matrix.shape} matrix; expected square"
+        )
+    assignment = agglomerative_cluster(
+        _symmetrised(matrix), ids, float(cutoff), linkage=str(link)
+    )
+    for read_id in ids:
+        yield (read_id, assignment[read_id])
+
+
+@register_udf("GreedyClustering", mode="grouped")
+def greedy_clustering(bag, num_hashes, cutoff):
+    """Greedy clustering over the sketch bag (Step 9).
+
+    ``bag`` holds every ``(minwise, seqid)`` tuple (GROUP ALL).  Emits
+    ``(seqid, label)`` rows.
+    """
+    n = int(num_hashes)
+    sketches = [
+        MinHashSketch(
+            read_id=seqid,
+            values=np.asarray(minwise, dtype=np.int64),
+            family_key=(n, 0, 0),
+        )
+        for minwise, seqid in bag
+    ]
+    if not sketches:
+        return
+    assignment = greedy_cluster(sketches, float(cutoff), estimator="set")
+    for sketch in sketches:
+        yield (sketch.read_id, assignment[sketch.read_id])
+
+
+def _symmetrised(matrix: np.ndarray) -> np.ndarray:
+    """Average a near-symmetric matrix with its transpose and pin the
+    diagonal to 1 (row ordering can introduce tiny asymmetries)."""
+    sym = (matrix + matrix.T) / 2.0
+    np.fill_diagonal(sym, 1.0)
+    return np.clip(sym, 0.0, 1.0)

@@ -1,0 +1,84 @@
+"""Sequence substrate: DNA alphabet, records, FASTA I/O, k-mer extraction,
+and sequencing-error models.
+
+This package provides everything the paper's pipeline needs upstream of
+min-wise hashing: parsing FASTA files from (simulated) HDFS, encoding DNA
+into integers (the paper's ``StringGenerator`` UDF) and extracting k-mer
+feature sets (the ``TranslateToKmer`` UDF).
+"""
+
+from repro.seq.alphabet import (
+    BASES,
+    BASE_TO_CODE,
+    CODE_TO_BASE,
+    encode_dna,
+    decode_dna,
+    reverse_complement,
+    gc_content,
+    is_valid_dna,
+    sanitize,
+)
+from repro.seq.records import SequenceRecord
+from repro.seq.fasta import (
+    read_fasta,
+    read_fasta_text,
+    write_fasta,
+    format_fasta,
+)
+from repro.seq.kmers import (
+    kmer_codes,
+    kmer_set,
+    kmer_strings,
+    kmer_counts,
+    max_kmer_code,
+)
+from repro.seq.error_models import (
+    SubstitutionErrorModel,
+    PyrosequencingErrorModel,
+    apply_errors,
+)
+from repro.seq.fastq import (
+    FastqRecord,
+    read_fastq,
+    read_fastq_text,
+    fastq_to_fasta,
+)
+from repro.seq.stats import (
+    SequenceSetStats,
+    sequence_set_stats,
+    length_histogram,
+    n50,
+)
+
+__all__ = [
+    "BASES",
+    "BASE_TO_CODE",
+    "CODE_TO_BASE",
+    "encode_dna",
+    "decode_dna",
+    "reverse_complement",
+    "gc_content",
+    "is_valid_dna",
+    "sanitize",
+    "SequenceRecord",
+    "read_fasta",
+    "read_fasta_text",
+    "write_fasta",
+    "format_fasta",
+    "kmer_codes",
+    "kmer_set",
+    "kmer_strings",
+    "kmer_counts",
+    "max_kmer_code",
+    "SubstitutionErrorModel",
+    "PyrosequencingErrorModel",
+    "apply_errors",
+    "FastqRecord",
+    "read_fastq",
+    "read_fastq_text",
+    "fastq_to_fasta",
+    "SequenceSetStats",
+    "sequence_set_stats",
+    "length_histogram",
+    "n50",
+]

@@ -1,0 +1,113 @@
+"""DNA alphabet handling and 2-bit integer encoding.
+
+The paper's ``StringGenerator`` UDF "maps the DNA alphabets into integer
+value"; we use the standard 2-bit code A=0, C=1, G=2, T=3.  Encoding is
+vectorised through a 256-entry lookup table so whole sequences convert in a
+single NumPy pass.  Ambiguity codes (N, R, Y, ...) map to -1 and are either
+rejected or skipped depending on the caller.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SequenceError
+
+#: Canonical DNA bases in code order.
+BASES = "ACGT"
+
+#: Base character -> 2-bit code.
+BASE_TO_CODE = {"A": 0, "C": 1, "G": 2, "T": 3}
+
+#: 2-bit code -> base character.
+CODE_TO_BASE = {v: k for k, v in BASE_TO_CODE.items()}
+
+#: Watson-Crick complement map (upper-case only).
+_COMPLEMENT = str.maketrans("ACGT", "TGCA")
+
+# 256-entry lookup: byte value of a base character -> code, -1 otherwise.
+_LUT = np.full(256, -1, dtype=np.int8)
+for _base, _code in BASE_TO_CODE.items():
+    _LUT[ord(_base)] = _code
+    _LUT[ord(_base.lower())] = _code
+
+_DECODE_LUT = np.frombuffer(BASES.encode(), dtype=np.uint8)
+
+
+def is_valid_dna(sequence: str) -> bool:
+    """True when ``sequence`` is non-empty and contains only A/C/G/T
+    (case-insensitive)."""
+    if not sequence:
+        return False
+    raw = np.frombuffer(sequence.encode("ascii", "replace"), dtype=np.uint8)
+    return bool(np.all(_LUT[raw] >= 0))
+
+
+def sanitize(sequence: str, *, replacement: str = "") -> str:
+    """Upper-case ``sequence`` and strip or replace non-ACGT characters.
+
+    With the default empty ``replacement`` ambiguous bases are removed;
+    passing e.g. ``"A"`` substitutes them instead (some tools do this for
+    N runs).
+    """
+    if replacement and replacement not in BASE_TO_CODE:
+        raise SequenceError(f"replacement must be one of {BASES}, got {replacement!r}")
+    out = []
+    for ch in sequence.upper():
+        if ch in BASE_TO_CODE:
+            out.append(ch)
+        elif replacement:
+            out.append(replacement)
+    return "".join(out)
+
+
+def encode_dna(sequence: str, *, strict: bool = True) -> np.ndarray:
+    """Encode a DNA string to an ``int8`` array of 2-bit codes.
+
+    With ``strict=True`` (default) any character outside A/C/G/T raises
+    :class:`~repro.errors.SequenceError`.  With ``strict=False`` invalid
+    positions are returned as -1 for the caller to handle (the k-mer
+    extractor skips windows containing them).
+    """
+    if not sequence:
+        return np.empty(0, dtype=np.int8)
+    try:
+        raw = np.frombuffer(sequence.encode("ascii"), dtype=np.uint8)
+    except UnicodeEncodeError as exc:
+        raise SequenceError(f"non-ASCII character in sequence: {exc}") from None
+    codes = _LUT[raw]
+    if strict and np.any(codes < 0):
+        bad_pos = int(np.argmax(codes < 0))
+        raise SequenceError(
+            f"invalid DNA character {sequence[bad_pos]!r} at position {bad_pos}"
+        )
+    return codes
+
+
+def decode_dna(codes: np.ndarray) -> str:
+    """Inverse of :func:`encode_dna` for arrays of 0..3 codes."""
+    codes = np.asarray(codes)
+    if codes.size == 0:
+        return ""
+    if np.any((codes < 0) | (codes > 3)):
+        raise SequenceError("codes outside 0..3 cannot be decoded")
+    return _DECODE_LUT[codes.astype(np.intp)].tobytes().decode("ascii")
+
+
+def reverse_complement(sequence: str) -> str:
+    """Reverse complement of an A/C/G/T string."""
+    if not is_valid_dna(sequence) and sequence:
+        raise SequenceError("reverse_complement requires a pure ACGT sequence")
+    return sequence.upper().translate(_COMPLEMENT)[::-1]
+
+
+def gc_content(sequence: str) -> float:
+    """Fraction of G/C bases, as reported in Table II's ``[]`` brackets."""
+    if not sequence:
+        raise SequenceError("gc_content of an empty sequence is undefined")
+    seq = sequence.upper()
+    gc = sum(1 for ch in seq if ch in "GC")
+    acgt = sum(1 for ch in seq if ch in BASE_TO_CODE)
+    if acgt == 0:
+        raise SequenceError("sequence contains no unambiguous bases")
+    return gc / acgt

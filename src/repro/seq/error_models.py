@@ -1,0 +1,106 @@
+"""Sequencing-error models for the dataset simulators.
+
+Two models cover the paper's benchmarks:
+
+* :class:`SubstitutionErrorModel` — uniform per-base substitutions, used for
+  the whole-metagenome shotgun reads (Table II/III) and for the Table IV
+  "reads up to 3 %/5 % error" sets.
+* :class:`PyrosequencingErrorModel` — 454/Roche-style errors dominated by
+  homopolymer-length miscalls (insertions/deletions inside runs of a single
+  base) plus a low substitution floor, mimicking the GS20/454 platforms
+  behind the Huse and Sogin datasets (Sections IV-A.1 and IV-A.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.seq.alphabet import BASES
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class SubstitutionErrorModel:
+    """Independent per-base substitution errors at ``rate``."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise DatasetError(f"substitution rate must be in [0,1], got {self.rate}")
+
+    def apply(self, sequence: str, rng: np.random.Generator) -> str:
+        if self.rate == 0.0 or not sequence:
+            return sequence
+        chars = list(sequence)
+        hits = np.flatnonzero(rng.random(len(chars)) < self.rate)
+        for i in hits:
+            current = chars[i]
+            choices = [b for b in BASES if b != current]
+            chars[i] = choices[int(rng.integers(len(choices)))]
+        return "".join(chars)
+
+
+@dataclass(frozen=True)
+class PyrosequencingErrorModel:
+    """454-style error model.
+
+    Parameters
+    ----------
+    indel_rate:
+        Per-homopolymer-run probability of a length miscall (one base
+        inserted or deleted at the run).
+    substitution_rate:
+        Residual per-base substitution probability.
+    """
+
+    indel_rate: float = 0.01
+    substitution_rate: float = 0.002
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("indel_rate", self.indel_rate),
+            ("substitution_rate", self.substitution_rate),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise DatasetError(f"{name} must be in [0,1], got {value}")
+
+    def apply(self, sequence: str, rng: np.random.Generator) -> str:
+        if not sequence:
+            return sequence
+        # First the substitution floor.
+        seq = SubstitutionErrorModel(self.substitution_rate).apply(sequence, rng)
+        if self.indel_rate == 0.0:
+            return seq
+        # Then walk homopolymer runs and miscall lengths.
+        out: list[str] = []
+        i = 0
+        n = len(seq)
+        while i < n:
+            j = i
+            while j < n and seq[j] == seq[i]:
+                j += 1
+            run = seq[i:j]
+            if rng.random() < self.indel_rate:
+                if rng.random() < 0.5 and len(run) > 1:
+                    run = run[:-1]  # undercall
+                else:
+                    run = run + run[0]  # overcall
+            out.append(run)
+            i = j
+        result = "".join(out)
+        return result if result else seq[:1]
+
+
+def apply_errors(
+    sequence: str,
+    model: SubstitutionErrorModel | PyrosequencingErrorModel | None,
+    rng: np.random.Generator | int | None,
+) -> str:
+    """Apply ``model`` to ``sequence`` (identity when ``model`` is None)."""
+    if model is None:
+        return sequence
+    return model.apply(sequence, ensure_rng(rng))

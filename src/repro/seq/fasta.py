@@ -1,0 +1,91 @@
+"""FASTA reading and writing.
+
+This is the ``FastaStorage`` UDF substrate from Algorithm 3: sequences
+arrive as FASTA text (from disk or from the simulated HDFS) and leave the
+loader as :class:`~repro.seq.records.SequenceRecord` tuples.
+
+Supports multi-line sequences, blank lines, comments (``;`` lines, an old
+FASTA convention), and CRLF input.  Headers of the form ``>id rest`` split
+into ``read_id = id`` and ``header`` keeping the full line.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from collections.abc import Iterable, Iterator
+
+from repro.errors import FastaParseError
+from repro.seq.records import SequenceRecord
+
+
+def read_fasta_text(text: str) -> list[SequenceRecord]:
+    """Parse FASTA from an in-memory string."""
+    return list(iter_fasta(io.StringIO(text)))
+
+
+def read_fasta(path: str | os.PathLike) -> list[SequenceRecord]:
+    """Parse a FASTA file from the local filesystem."""
+    with open(path, "r", encoding="ascii") as fh:
+        return list(iter_fasta(fh))
+
+
+def iter_fasta(lines: Iterable[str]) -> Iterator[SequenceRecord]:
+    """Stream records from an iterable of lines.
+
+    Raises :class:`~repro.errors.FastaParseError` on sequence data before
+    the first header, empty records, or duplicate-empty headers.
+    """
+    header: str | None = None
+    header_line = 0
+    chunks: list[str] = []
+    lineno = 0
+
+    def flush() -> SequenceRecord:
+        sequence = "".join(chunks)
+        if not sequence:
+            raise FastaParseError(f"record {header!r} has no sequence", header_line)
+        read_id = header.split()[0] if header.split() else ""
+        if not read_id:
+            raise FastaParseError("empty FASTA header", header_line)
+        return SequenceRecord(read_id=read_id, sequence=sequence, header=header)
+
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.rstrip("\r\n")
+        if not line.strip():
+            continue
+        if line.startswith(";"):
+            continue
+        if line.startswith(">"):
+            if header is not None:
+                yield flush()
+            header = line[1:].strip()
+            header_line = lineno
+            chunks = []
+        else:
+            if header is None:
+                raise FastaParseError("sequence data before first '>' header", lineno)
+            chunks.append(line.strip())
+    if header is not None:
+        yield flush()
+
+
+def format_fasta(records: Iterable[SequenceRecord], *, width: int = 70) -> str:
+    """Render records as FASTA text with lines wrapped at ``width``."""
+    if width <= 0:
+        raise FastaParseError(f"line width must be positive, got {width}")
+    parts: list[str] = []
+    for rec in records:
+        parts.append(f">{rec.header or rec.read_id}")
+        seq = rec.sequence
+        for start in range(0, len(seq), width):
+            parts.append(seq[start : start + width])
+    return "\n".join(parts) + ("\n" if parts else "")
+
+
+def write_fasta(
+    records: Iterable[SequenceRecord], path: str | os.PathLike, *, width: int = 70
+) -> None:
+    """Write records to a FASTA file on the local filesystem."""
+    with open(path, "w", encoding="ascii") as fh:
+        fh.write(format_fasta(records, width=width))

@@ -1,0 +1,163 @@
+"""FASTQ parsing and quality-aware preprocessing.
+
+Modern sequencers emit FASTQ (sequence + per-base Phred qualities); the
+paper's pipeline consumes FASTA, so real deployments convert after
+quality control.  This module provides the conversion path: a strict
+four-line FASTQ parser, Phred decoding (Sanger +33 encoding), and the
+standard quality-trimming operations (leading/trailing low-quality bases,
+sliding-window trim, mean-quality filter).
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FastaParseError
+from repro.seq.records import SequenceRecord
+
+#: Sanger Phred offset.
+PHRED_OFFSET = 33
+
+
+@dataclass(frozen=True)
+class FastqRecord:
+    """One FASTQ entry: record plus Phred quality scores."""
+
+    record: SequenceRecord
+    qualities: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.qualities) != len(self.record.sequence):
+            raise FastaParseError(
+                f"{self.record.read_id!r}: {len(self.qualities)} quality "
+                f"scores for a {len(self.record.sequence)}-base sequence"
+            )
+
+    @property
+    def mean_quality(self) -> float:
+        """Mean Phred score."""
+        return float(np.mean(self.qualities))
+
+    def trimmed(
+        self,
+        *,
+        min_quality: int = 20,
+        window: int = 4,
+    ) -> SequenceRecord | None:
+        """Quality-trim and return the surviving record (None if empty).
+
+        Leading/trailing bases below ``min_quality`` are cut, then a
+        sliding window scans from the 5' end and truncates at the first
+        window whose mean drops below ``min_quality`` (Trimmomatic-style).
+        """
+        q = np.asarray(self.qualities)
+        good = q >= min_quality
+        if not good.any():
+            return None
+        start = int(np.argmax(good))
+        stop = len(q) - int(np.argmax(good[::-1]))
+        q = q[start:stop]
+        seq = self.record.sequence[start:stop]
+        if window > 0 and len(q) >= window:
+            means = np.convolve(q, np.ones(window) / window, mode="valid")
+            bad = np.flatnonzero(means < min_quality)
+            if bad.size:
+                cut = int(bad[0])
+                seq = seq[:cut]
+        if not seq:
+            return None
+        return SequenceRecord(
+            read_id=self.record.read_id,
+            sequence=seq,
+            header=self.record.header,
+            label=self.record.label,
+        )
+
+
+def decode_qualities(text: str) -> tuple[int, ...]:
+    """Decode a Sanger-encoded quality string to Phred scores."""
+    scores = tuple(ord(c) - PHRED_OFFSET for c in text)
+    if any(s < 0 or s > 93 for s in scores):
+        raise FastaParseError("quality string contains non-Sanger characters")
+    return scores
+
+
+def encode_qualities(scores: Iterable[int]) -> str:
+    """Inverse of :func:`decode_qualities`."""
+    out = []
+    for s in scores:
+        if not 0 <= s <= 93:
+            raise FastaParseError(f"Phred score {s} outside 0..93")
+        out.append(chr(s + PHRED_OFFSET))
+    return "".join(out)
+
+
+def iter_fastq(lines: Iterable[str]) -> Iterator[FastqRecord]:
+    """Parse four-line FASTQ entries from an iterable of lines."""
+    block: list[str] = []
+    lineno = 0
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.rstrip("\r\n")
+        if not line and not block:
+            continue
+        block.append(line)
+        if len(block) < 4:
+            continue
+        header, seq, plus, quals = block
+        block = []
+        if not header.startswith("@"):
+            raise FastaParseError(
+                f"expected '@' header, got {header[:20]!r}", lineno - 3
+            )
+        if not plus.startswith("+"):
+            raise FastaParseError(
+                f"expected '+' separator, got {plus[:20]!r}", lineno - 1
+            )
+        read_id = header[1:].split()[0] if header[1:].split() else ""
+        if not read_id:
+            raise FastaParseError("empty FASTQ header", lineno - 3)
+        yield FastqRecord(
+            record=SequenceRecord(read_id=read_id, sequence=seq, header=header[1:]),
+            qualities=decode_qualities(quals),
+        )
+    if block:
+        raise FastaParseError(
+            f"truncated FASTQ record ({len(block)}/4 lines)", lineno
+        )
+
+
+def read_fastq_text(text: str) -> list[FastqRecord]:
+    """Parse FASTQ from an in-memory string."""
+    return list(iter_fastq(text.splitlines()))
+
+
+def read_fastq(path: str | os.PathLike) -> list[FastqRecord]:
+    """Parse a FASTQ file from the local filesystem."""
+    with open(path, "r", encoding="ascii") as fh:
+        return list(iter_fastq(fh))
+
+
+def fastq_to_fasta(
+    entries: Iterable[FastqRecord],
+    *,
+    min_quality: int = 20,
+    min_length: int = 30,
+    min_mean_quality: float = 0.0,
+) -> list[SequenceRecord]:
+    """Quality-control FASTQ into the FASTA records the pipeline consumes.
+
+    Applies per-read mean-quality filtering, quality trimming, and a
+    minimum surviving length.
+    """
+    out: list[SequenceRecord] = []
+    for entry in entries:
+        if entry.mean_quality < min_mean_quality:
+            continue
+        trimmed = entry.trimmed(min_quality=min_quality)
+        if trimmed is not None and len(trimmed) >= min_length:
+            out.append(trimmed)
+    return out

@@ -1,0 +1,51 @@
+"""Sequence record type flowing through the pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SequenceError
+from repro.seq.alphabet import gc_content
+
+
+@dataclass(frozen=True)
+class SequenceRecord:
+    """A single read or reference sequence.
+
+    Attributes
+    ----------
+    read_id:
+        Unique identifier (the FASTA header token, ``readid`` in Alg. 3).
+    sequence:
+        Upper-case nucleotide string.
+    header:
+        Full FASTA description line (without the leading ``>``).
+    label:
+        Optional ground-truth label (species/OTU) used by the evaluation
+        metrics; carried separately from the header so simulated datasets
+        can attach taxonomy without leaking it to the clustering code.
+    """
+
+    read_id: str
+    sequence: str
+    header: str = ""
+    label: str | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.read_id:
+            raise SequenceError("read_id must be non-empty")
+        if not self.sequence:
+            raise SequenceError(f"sequence for {self.read_id!r} is empty")
+        object.__setattr__(self, "sequence", self.sequence.upper())
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+    @property
+    def gc(self) -> float:
+        """GC fraction of this record's sequence."""
+        return gc_content(self.sequence)
+
+    def with_label(self, label: str) -> "SequenceRecord":
+        """Copy of this record carrying a ground-truth label."""
+        return SequenceRecord(self.read_id, self.sequence, self.header, label)

@@ -1,0 +1,92 @@
+"""Sequence-set summary statistics.
+
+The numbers every assembly/binning paper tabulates about its inputs:
+read-length distribution, N50, GC distribution.  Used by the dataset
+tests (to verify generators hit the published statistics) and by the
+examples when describing their synthetic samples.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SequenceError
+from repro.seq.records import SequenceRecord
+
+
+@dataclass(frozen=True)
+class SequenceSetStats:
+    """Summary of one read set."""
+
+    count: int
+    total_bases: int
+    min_length: int
+    max_length: int
+    mean_length: float
+    median_length: float
+    n50: int
+    gc_mean: float
+    gc_std: float
+
+    def describe(self) -> str:
+        """One-paragraph human rendering."""
+        return (
+            f"{self.count} sequences, {self.total_bases:,} bp total; "
+            f"length {self.min_length}-{self.max_length} "
+            f"(mean {self.mean_length:.1f}, median {self.median_length:.0f}, "
+            f"N50 {self.n50}); GC {100 * self.gc_mean:.1f}% "
+            f"± {100 * self.gc_std:.1f}%"
+        )
+
+
+def n50(lengths: Sequence[int]) -> int:
+    """N50: the length L such that sequences of length >= L cover at
+    least half the total bases."""
+    if not lengths:
+        raise SequenceError("N50 of an empty set is undefined")
+    ordered = sorted(lengths, reverse=True)
+    total = sum(ordered)
+    running = 0
+    for length in ordered:
+        running += length
+        if 2 * running >= total:
+            return length
+    return ordered[-1]  # pragma: no cover - loop always returns
+
+
+def sequence_set_stats(records: Sequence[SequenceRecord]) -> SequenceSetStats:
+    """Compute :class:`SequenceSetStats` for a read set."""
+    if not records:
+        raise SequenceError("cannot summarise an empty read set")
+    lengths = np.array([len(r) for r in records], dtype=np.int64)
+    gcs = np.array([r.gc for r in records], dtype=np.float64)
+    return SequenceSetStats(
+        count=len(records),
+        total_bases=int(lengths.sum()),
+        min_length=int(lengths.min()),
+        max_length=int(lengths.max()),
+        mean_length=float(lengths.mean()),
+        median_length=float(np.median(lengths)),
+        n50=n50(lengths.tolist()),
+        gc_mean=float(gcs.mean()),
+        gc_std=float(gcs.std()),
+    )
+
+
+def length_histogram(
+    records: Sequence[SequenceRecord], *, num_bins: int = 10
+) -> list[tuple[int, int, int]]:
+    """``(bin start, bin end, count)`` rows over read lengths."""
+    if not records:
+        raise SequenceError("cannot histogram an empty read set")
+    if num_bins < 1:
+        raise SequenceError(f"num_bins must be >= 1, got {num_bins}")
+    lengths = np.array([len(r) for r in records])
+    counts, edges = np.histogram(lengths, bins=num_bins)
+    return [
+        (int(edges[i]), int(edges[i + 1]), int(counts[i]))
+        for i in range(len(counts))
+    ]

@@ -1,0 +1,15 @@
+"""Shared utilities: deterministic RNG handling, timing, chunking."""
+
+from repro.utils.rng import derive_seed, ensure_rng, spawn_rngs
+from repro.utils.timing import Stopwatch, format_duration
+from repro.utils.chunking import chunk_indices, even_splits
+
+__all__ = [
+    "derive_seed",
+    "ensure_rng",
+    "spawn_rngs",
+    "Stopwatch",
+    "format_duration",
+    "chunk_indices",
+    "even_splits",
+]

@@ -1,0 +1,33 @@
+"""Index partitioning used by the parallel runners and the row-partitioned
+pairwise similarity computation."""
+
+from __future__ import annotations
+
+
+def even_splits(n: int, parts: int) -> list[int]:
+    """Split ``n`` items into ``parts`` sizes differing by at most one.
+
+    Returns a list of ``parts`` sizes summing to ``n``.  Larger chunks come
+    first, mirroring Hadoop's block-assignment behaviour.
+    """
+    if parts <= 0:
+        raise ValueError(f"parts must be positive, got {parts}")
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    base, extra = divmod(n, parts)
+    return [base + (1 if i < extra else 0) for i in range(parts)]
+
+
+def chunk_indices(n: int, parts: int) -> list[tuple[int, int]]:
+    """Return ``(start, stop)`` half-open ranges covering ``range(n)``.
+
+    Empty ranges are included when ``parts > n`` so callers can zip the
+    result against a fixed worker pool.
+    """
+    sizes = even_splits(n, parts)
+    out: list[tuple[int, int]] = []
+    start = 0
+    for size in sizes:
+        out.append((start, start + size))
+        start += size
+    return out

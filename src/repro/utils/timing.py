@@ -1,0 +1,56 @@
+"""Wall-clock measurement helpers used by the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch with named laps.
+
+    Example::
+
+        sw = Stopwatch()
+        with sw.lap("sketch"):
+            compute_sketches(...)
+        with sw.lap("cluster"):
+            cluster(...)
+        print(sw.laps["sketch"], sw.total)
+    """
+
+    laps: dict[str, float] = field(default_factory=dict)
+
+    class _Lap:
+        def __init__(self, sw: "Stopwatch", name: str):
+            self._sw = sw
+            self._name = name
+            self._start = 0.0
+
+        def __enter__(self) -> "Stopwatch._Lap":
+            self._start = time.perf_counter()
+            return self
+
+        def __exit__(self, *exc) -> None:
+            elapsed = time.perf_counter() - self._start
+            self._sw.laps[self._name] = self._sw.laps.get(self._name, 0.0) + elapsed
+
+    def lap(self, name: str) -> "Stopwatch._Lap":
+        """Context manager accumulating elapsed time under ``name``."""
+        return Stopwatch._Lap(self, name)
+
+    @property
+    def total(self) -> float:
+        """Sum of all recorded laps in seconds."""
+        return sum(self.laps.values())
+
+
+def format_duration(seconds: float) -> str:
+    """Render seconds as the paper's ``XmYYs`` / ``Y.Ys`` style strings."""
+    if seconds < 0:
+        raise ValueError("duration cannot be negative")
+    if seconds < 60:
+        return f"{seconds:.1f}s"
+    minutes, rem = divmod(seconds, 60.0)
+    return f"{int(minutes)}m {rem:02.0f}s"

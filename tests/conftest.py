@@ -1,0 +1,30 @@
+"""Shared test fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.minhash.sketch import SketchingConfig, compute_sketches
+from repro.seq.records import SequenceRecord
+
+
+@pytest.fixture
+def two_family_records() -> list[SequenceRecord]:
+    """Ten records from two obviously distinct sequence families."""
+    fam_a = "ACGTACGTAATTCCGG" * 12
+    fam_b = "TTGCATGCATGGCCAA" * 12
+    out = []
+    for i in range(5):
+        out.append(SequenceRecord(f"a{i}", fam_a[i : i + 150], label="A"))
+        out.append(SequenceRecord(f"b{i}", fam_b[i : i + 150], label="B"))
+    return out
+
+
+@pytest.fixture
+def small_config() -> SketchingConfig:
+    return SketchingConfig(kmer_size=5, num_hashes=32, seed=1)
+
+
+@pytest.fixture
+def two_family_sketches(two_family_records, small_config):
+    return compute_sketches(two_family_records, small_config)

@@ -1,0 +1,173 @@
+"""Tests for affine-gap alignment and singleton rescue."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ClusteringError, SequenceError
+from repro.align.affine import AffineScheme, affine_align, affine_identity
+from repro.align.global_align import ScoringScheme, global_align
+from repro.cluster.assignments import ClusterAssignment
+from repro.cluster.denoise import rescue_small_clusters
+from repro.minhash.sketch import MinHashSketch
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=30)
+
+
+class TestAffineScheme:
+    def test_validation(self):
+        with pytest.raises(SequenceError):
+            AffineScheme(gap_open=1.0)
+        with pytest.raises(SequenceError):
+            AffineScheme(gap_open=-1.0, gap_extend=-2.0)  # extend worse than open
+        with pytest.raises(SequenceError):
+            AffineScheme(match=-1.0, mismatch=0.0)
+
+
+class TestAffineAlign:
+    def test_identical(self):
+        r = affine_align("ACGTACGT", "ACGTACGT")
+        assert r.identity == 1.0
+        assert r.score == 8.0
+
+    def test_prefers_one_long_gap(self):
+        """Affine costs favour a single 3-gap over three scattered gaps."""
+        a = "AAACCCGGGTTT"
+        b = "AAAGGGTTT"  # CCC deleted as a block
+        r = affine_align(a, b, AffineScheme(gap_open=-3.0, gap_extend=-0.25))
+        # The gap must be contiguous in the b row.
+        gap_run = r.aligned_b.count("-")
+        assert gap_run == 3
+        assert "---" in r.aligned_b
+
+    def test_reduces_to_linear_when_extend_equals_open(self):
+        scheme_affine = AffineScheme(gap_open=-1.0, gap_extend=-1.0)
+        scheme_linear = ScoringScheme(gap=-1.0)
+        rng = np.random.default_rng(0)
+        for _ in range(15):
+            n = int(rng.integers(5, 25))
+            a = "".join(rng.choice(list("ACGT"), size=n))
+            b = "".join(rng.choice(list("ACGT"), size=int(rng.integers(5, 25))))
+            assert affine_align(a, b, scheme_affine).score == pytest.approx(
+                global_align(a, b, scheme_linear).score
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(SequenceError):
+            affine_align("", "ACGT")
+
+    @given(dna, dna)
+    @settings(max_examples=40, deadline=None)
+    def test_alignment_strings_consistent(self, a, b):
+        r = affine_align(a, b)
+        assert r.aligned_a.replace("-", "") == a.upper()
+        assert r.aligned_b.replace("-", "") == b.upper()
+        assert len(r.aligned_a) == len(r.aligned_b) == r.length
+        matches = sum(
+            1 for x, y in zip(r.aligned_a, r.aligned_b) if x == y and x != "-"
+        )
+        assert matches == r.matches
+
+    @given(dna, dna)
+    @settings(max_examples=40, deadline=None)
+    def test_traceback_rescoring(self, a, b):
+        """The aligned strings must re-score to the reported optimum."""
+        scheme = AffineScheme()
+        r = affine_align(a, b, scheme)
+        score = 0.0
+        in_gap_a = in_gap_b = False
+        for x, y in zip(r.aligned_a, r.aligned_b):
+            if x == "-":
+                score += scheme.gap_extend if in_gap_a else scheme.gap_open
+                in_gap_a, in_gap_b = True, False
+            elif y == "-":
+                score += scheme.gap_extend if in_gap_b else scheme.gap_open
+                in_gap_b, in_gap_a = True, False
+            else:
+                score += scheme.match if x == y else scheme.mismatch
+                in_gap_a = in_gap_b = False
+        assert score == pytest.approx(r.score)
+
+    @given(dna)
+    @settings(max_examples=25, deadline=None)
+    def test_self_identity(self, a):
+        assert affine_identity(a, a) == 1.0
+
+
+def sketch(read_id, values):
+    return MinHashSketch(read_id, np.asarray(values, dtype=np.int64), family_key=(4, 10, 0))
+
+
+class TestRescueSmallClusters:
+    def _setup(self):
+        # Big cluster 0 (3x identical), big cluster 1 (2x), singleton near 0.
+        sketches = [
+            sketch("a0", [1, 2, 3, 4]),
+            sketch("a1", [1, 2, 3, 4]),
+            sketch("a2", [1, 2, 3, 4]),
+            sketch("b0", [9, 9, 9, 9]),
+            sketch("b1", [9, 9, 9, 9]),
+            sketch("lonely", [1, 2, 3, 7]),  # 75% similar to cluster 0
+        ]
+        assignment = ClusterAssignment(
+            {"a0": 0, "a1": 0, "a2": 0, "b0": 1, "b1": 1, "lonely": 2}
+        )
+        return assignment, sketches
+
+    def test_rescues_into_nearest(self):
+        assignment, sketches = self._setup()
+        out = rescue_small_clusters(
+            assignment, sketches, rescue_threshold=0.7, max_size=1
+        )
+        assert out["lonely"] == 0
+        assert out.num_clusters == 2
+
+    def test_threshold_blocks_rescue(self):
+        assignment, sketches = self._setup()
+        out = rescue_small_clusters(
+            assignment, sketches, rescue_threshold=0.9, max_size=1
+        )
+        assert out["lonely"] == 2  # stays a singleton
+
+    def test_large_clusters_untouched(self):
+        assignment, sketches = self._setup()
+        out = rescue_small_clusters(
+            assignment, sketches, rescue_threshold=0.7, max_size=1
+        )
+        for rid in ("a0", "a1", "a2"):
+            assert out[rid] == 0
+        for rid in ("b0", "b1"):
+            assert out[rid] == 1
+
+    def test_no_large_clusters_noop(self):
+        sketches = [sketch("x", [1, 2, 3, 4]), sketch("y", [5, 6, 7, 8])]
+        assignment = ClusterAssignment({"x": 0, "y": 1})
+        out = rescue_small_clusters(assignment, sketches, rescue_threshold=0.5)
+        assert dict(out) == dict(assignment)
+
+    def test_validation(self):
+        assignment, sketches = self._setup()
+        with pytest.raises(ClusteringError):
+            rescue_small_clusters(assignment, sketches, rescue_threshold=1.5)
+        with pytest.raises(ClusteringError):
+            rescue_small_clusters(assignment, sketches, rescue_threshold=0.5, max_size=0)
+        with pytest.raises(ClusteringError, match="no sketch"):
+            rescue_small_clusters(assignment, sketches[:2], rescue_threshold=0.5)
+
+    def test_reduces_cluster_count_on_noisy_sample(self):
+        """End-to-end: rescue recovers errored 16S reads."""
+        from repro.cluster.pipeline import MrMCMinH
+        from repro.datasets import generate_environmental_sample
+
+        reads = generate_environmental_sample("53R", num_reads=120, seed=5)
+        run = MrMCMinH(kmer_size=15, num_hashes=50, threshold=0.95, seed=5).fit(reads)
+        rescued = rescue_small_clusters(
+            run.assignment, run.sketches, rescue_threshold=0.5, max_size=1
+        )
+        assert rescued.num_clusters < run.assignment.num_clusters
+        # Rescue must not scramble large clusters' membership.
+        for label, members in run.assignment.clusters().items():
+            if len(members) > 1:
+                labels = {rescued[m] for m in members}
+                assert len(labels) == 1

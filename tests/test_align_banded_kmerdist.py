@@ -1,0 +1,118 @@
+"""Tests for banded alignment and the ESPRIT k-mer distance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KmerError, SequenceError
+from repro.align.banded import banded_identity
+from repro.align.global_align import global_align
+from repro.align.kmerdist import kmer_distance, kmer_distance_matrix
+
+dna = st.text(alphabet="ACGT", min_size=10, max_size=60)
+
+
+class TestBandedIdentity:
+    def test_identical(self):
+        assert banded_identity("ACGTACGT", "ACGTACGT") == 1.0
+
+    def test_matches_full_dp_for_similar_pairs(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            n = int(rng.integers(30, 90))
+            a = "".join(rng.choice(list("ACGT"), size=n))
+            b = list(a)
+            for _ in range(int(rng.integers(0, 5))):
+                p = int(rng.integers(len(b)))
+                b[p] = "ACGT"[int(rng.integers(4))]
+            b = "".join(b)
+            assert banded_identity(a, b, band=16) == pytest.approx(
+                global_align(a, b).identity, abs=0.05
+            )
+
+    def test_length_difference_beyond_band_falls_back(self):
+        a = "ACGT" * 20
+        b = "ACGT" * 5
+        # |80 - 20| = 60 > band 8: exact fallback must still work.
+        result = banded_identity(a, b, band=8)
+        assert result == pytest.approx(global_align(a, b).identity)
+
+    def test_band_one(self):
+        assert banded_identity("ACGT", "ACGT", band=1) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(SequenceError):
+            banded_identity("", "ACGT")
+        with pytest.raises(SequenceError):
+            banded_identity("ACGT", "ACGT", band=0)
+
+    @given(dna)
+    @settings(max_examples=30, deadline=None)
+    def test_self_identity(self, a):
+        assert banded_identity(a, a, band=8) == 1.0
+
+    @given(dna, dna)
+    @settings(max_examples=30, deadline=None)
+    def test_bounds_and_symmetry(self, a, b):
+        x = banded_identity(a, b, band=12)
+        assert 0.0 <= x <= 1.0
+        assert x == pytest.approx(banded_identity(b, a, band=12), abs=1e-9)
+
+    def test_banded_never_exceeds_full_optimum_identity_much(self):
+        """The banded path is a restriction: its score <= full optimum,
+        identity close for near-diagonal pairs."""
+        a = "ACGTACGTGGCCTTAA" * 3
+        b = "ACGTACGTGGCTTTAA" * 3
+        full = global_align(a, b).identity
+        band = banded_identity(a, b, band=10)
+        assert band <= full + 1e-9
+
+
+class TestKmerDistance:
+    def test_identical_zero(self):
+        assert kmer_distance("ACGTACGTAC", "ACGTACGTAC", k=3) == pytest.approx(0.0)
+
+    def test_disjoint_one(self):
+        assert kmer_distance("AAAAAAAAAA", "CCCCCCCCCC", k=3) == pytest.approx(1.0)
+
+    def test_range(self):
+        d = kmer_distance("ACGTACGTAC", "ACGTTCGTAC", k=4)
+        assert 0.0 <= d <= 1.0
+
+    def test_too_short_rejected(self):
+        with pytest.raises(KmerError):
+            kmer_distance("AC", "ACGTACGT", k=6)
+
+    @given(dna, dna)
+    @settings(max_examples=40, deadline=None)
+    def test_symmetry(self, a, b):
+        assert kmer_distance(a, b, k=4) == pytest.approx(kmer_distance(b, a, k=4))
+
+    def test_correlates_with_alignment(self):
+        """More substitutions -> larger k-mer distance (the ESPRIT premise)."""
+        rng = np.random.default_rng(1)
+        base = "".join(rng.choice(list("ACGT"), size=120))
+        distances = []
+        for nmut in (0, 5, 15, 30):
+            mutated = list(base)
+            for p in rng.choice(120, size=nmut, replace=False):
+                mutated[p] = "ACGT"[(("ACGT".index(mutated[p])) + 1) % 4]
+            distances.append(kmer_distance(base, "".join(mutated), k=6))
+        assert distances == sorted(distances)
+
+
+class TestKmerDistanceMatrix:
+    def test_shape_and_symmetry(self):
+        seqs = ["ACGTACGTAC", "ACGTTCGTAC", "GGGGGGGGGG"]
+        m = kmer_distance_matrix(seqs, k=3)
+        assert m.shape == (3, 3)
+        assert np.allclose(m, m.T)
+        assert np.allclose(np.diag(m), 0.0)
+
+    def test_matches_pairwise_calls(self):
+        seqs = ["ACGTACGTAC", "ACGTTCGTAC", "ACGGACGTAC"]
+        m = kmer_distance_matrix(seqs, k=4)
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert m[i, j] == pytest.approx(kmer_distance(seqs[i], seqs[j], k=4))

@@ -1,0 +1,126 @@
+"""Tests for global alignment, including a brute-force DP cross-check."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SequenceError
+from repro.align.global_align import (
+    AlignmentResult,
+    ScoringScheme,
+    global_align,
+    global_identity,
+)
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=40)
+
+
+def reference_nw_score(a, b, scheme):
+    """Plain-Python Needleman-Wunsch for cross-checking."""
+    n, m = len(a), len(b)
+    H = [[0.0] * (m + 1) for _ in range(n + 1)]
+    for i in range(1, n + 1):
+        H[i][0] = scheme.gap * i
+    for j in range(1, m + 1):
+        H[0][j] = scheme.gap * j
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            sub = scheme.match if a[i - 1] == b[j - 1] else scheme.mismatch
+            H[i][j] = max(
+                H[i - 1][j - 1] + sub, H[i - 1][j] + scheme.gap, H[i][j - 1] + scheme.gap
+            )
+    return H[n][m]
+
+
+class TestScoringScheme:
+    def test_defaults(self):
+        s = ScoringScheme()
+        assert s.match == 1.0 and s.mismatch == -1.0 and s.gap == -1.0
+
+    def test_validation(self):
+        with pytest.raises(SequenceError):
+            ScoringScheme(gap=0.5)
+        with pytest.raises(SequenceError):
+            ScoringScheme(match=-1.0, mismatch=0.0)
+
+
+class TestGlobalAlign:
+    def test_identical(self):
+        r = global_align("ACGTACGT", "ACGTACGT")
+        assert r.identity == 1.0
+        assert r.score == 8.0
+        assert r.aligned_a == r.aligned_b == "ACGTACGT"
+
+    def test_single_substitution(self):
+        r = global_align("ACGT", "AGGT")
+        assert r.matches == 3
+        assert r.length == 4
+        assert r.identity == 0.75
+
+    def test_insertion(self):
+        r = global_align("ACGT", "ACGGT")
+        assert "-" in r.aligned_a
+        assert r.matches == 4
+        assert r.length == 5
+
+    def test_totally_different(self):
+        r = global_align("AAAA", "TTTT")
+        assert r.identity == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(SequenceError):
+            global_align("", "ACGT")
+        with pytest.raises(SequenceError):
+            global_align("ACGT", "")
+
+    def test_case_insensitive(self):
+        assert global_align("acgt", "ACGT").identity == 1.0
+
+    def test_alignment_strings_consistent(self):
+        r = global_align("ACGTAC", "AGTACC")
+        assert len(r.aligned_a) == len(r.aligned_b) == r.length
+        assert r.aligned_a.replace("-", "") == "ACGTAC"
+        assert r.aligned_b.replace("-", "") == "AGTACC"
+        matches = sum(1 for x, y in zip(r.aligned_a, r.aligned_b) if x == y and x != "-")
+        assert matches == r.matches
+
+    @given(dna, dna)
+    @settings(max_examples=60, deadline=None)
+    def test_score_matches_reference_dp(self, a, b):
+        scheme = ScoringScheme()
+        ours = global_align(a, b, scheme).score
+        assert ours == pytest.approx(reference_nw_score(a, b, scheme))
+
+    @given(dna, dna)
+    @settings(max_examples=40, deadline=None)
+    def test_traceback_score_consistent(self, a, b):
+        """The aligned strings must re-score to the DP optimum."""
+        scheme = ScoringScheme()
+        r = global_align(a, b, scheme)
+        rescored = 0.0
+        for x, y in zip(r.aligned_a, r.aligned_b):
+            if x == "-" or y == "-":
+                rescored += scheme.gap
+            elif x == y:
+                rescored += scheme.match
+            else:
+                rescored += scheme.mismatch
+        assert rescored == pytest.approx(r.score)
+
+    @given(dna, dna)
+    @settings(max_examples=40, deadline=None)
+    def test_symmetry_and_bounds(self, a, b):
+        assert global_identity(a, b) == pytest.approx(global_identity(b, a))
+        assert 0.0 <= global_identity(a, b) <= 1.0
+
+    @given(dna)
+    @settings(max_examples=30, deadline=None)
+    def test_self_identity(self, a):
+        assert global_identity(a, a) == 1.0
+
+
+class TestAlignmentResult:
+    def test_identity_zero_length(self):
+        r = AlignmentResult("", "", 0.0, 0, 0)
+        assert r.identity == 0.0

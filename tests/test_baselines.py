@@ -1,0 +1,207 @@
+"""Tests for the seven baseline clustering algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ClusteringError
+from repro.baselines import (
+    cdhit_cluster,
+    dotur_cluster,
+    esprit_cluster,
+    mc_lsh,
+    metacluster_cluster,
+    mothur_cluster,
+    uclust_cluster,
+)
+from repro.baselines.cdhit import required_shared_words
+from repro.baselines.dotur import alignment_distance_matrix
+from repro.baselines.metacluster import MetaCluster, spearman_distance, _rank_transform
+from repro.datasets import generate_environmental_sample
+from repro.seq.records import SequenceRecord
+
+
+@pytest.fixture(scope="module")
+def env_sample():
+    return generate_environmental_sample("53R", num_reads=80, seed=0)
+
+
+@pytest.fixture(scope="module")
+def env_truth(env_sample):
+    return {r.read_id: r.label for r in env_sample}
+
+
+def purity_of(assignment, truth):
+    from repro.eval.metrics import purity
+
+    return purity(assignment, truth)
+
+
+IDENTICAL = [SequenceRecord(f"r{i}", "ACGTACGTGGCCAATT" * 5) for i in range(6)]
+TWO_GROUPS = [
+    SequenceRecord(f"a{i}", "ACGTACGTGGCCAATT" * 5) for i in range(3)
+] + [SequenceRecord(f"b{i}", "TTTTGGGGCCCCAAAA" * 5) for i in range(3)]
+
+
+class TestCommonContract:
+    """Every baseline obeys the same basic contract."""
+
+    METHODS = [
+        ("mc_lsh", lambda recs: mc_lsh(recs, 0.95, kmer_size=8, num_hashes=40)),
+        ("cdhit", lambda recs: cdhit_cluster(recs, 0.95)),
+        ("uclust", lambda recs: uclust_cluster(recs, 0.95)),
+        ("esprit", lambda recs: esprit_cluster(recs, 0.95)),
+        ("dotur", lambda recs: dotur_cluster(recs, 0.95)),
+        ("mothur", lambda recs: mothur_cluster(recs, 0.95)),
+        ("metacluster", lambda recs: metacluster_cluster(recs)),
+    ]
+
+    @pytest.mark.parametrize("name,fn", METHODS, ids=[m[0] for m in METHODS])
+    def test_identical_sequences_one_cluster(self, name, fn):
+        a = fn(IDENTICAL)
+        assert a.num_clusters == 1, name
+
+    @pytest.mark.parametrize("name,fn", METHODS, ids=[m[0] for m in METHODS])
+    def test_two_groups_separated(self, name, fn):
+        a = fn(TWO_GROUPS)
+        groups = {}
+        for rid in a:
+            groups.setdefault(a[rid], set()).add(rid[0])
+        for members in groups.values():
+            assert len(members) == 1, name  # never mixes a* with b*
+
+    @pytest.mark.parametrize("name,fn", METHODS, ids=[m[0] for m in METHODS])
+    def test_every_sequence_assigned(self, name, fn, env_sample):
+        a = fn(env_sample)
+        assert a.num_sequences == len(env_sample), name
+
+    @pytest.mark.parametrize("name,fn", METHODS, ids=[m[0] for m in METHODS])
+    def test_empty_rejected(self, name, fn):
+        with pytest.raises(ClusteringError):
+            fn([])
+
+
+class TestMcLsh:
+    def test_band_divisibility(self):
+        with pytest.raises(ClusteringError, match="divide"):
+            mc_lsh(IDENTICAL, 0.9, num_hashes=50, band_size=7)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ClusteringError):
+            mc_lsh(IDENTICAL, 1.5)
+
+    def test_more_permissive_bands_fewer_clusters(self, env_sample):
+        tight = mc_lsh(env_sample, 0.9, band_size=25, num_hashes=50)
+        loose = mc_lsh(env_sample, 0.9, band_size=1, num_hashes=50)
+        # Smaller bands generate more candidates -> at most as many clusters.
+        assert loose.num_clusters <= tight.num_clusters
+
+
+class TestCdHit:
+    def test_word_bound_monotone_in_identity(self):
+        assert required_shared_words(100, 5, 0.99) > required_shared_words(100, 5, 0.90)
+
+    def test_processes_longest_first(self):
+        # The longest sequence must be a representative (label of its own).
+        records = [
+            SequenceRecord("short", "ACGTACGTAC"),
+            SequenceRecord("long", "ACGTACGTAC" * 4),
+        ]
+        a = cdhit_cluster(records, 0.95)
+        assert a.num_sequences == 2
+
+    def test_high_threshold_more_clusters(self, env_sample):
+        strict = cdhit_cluster(env_sample, 0.99).num_clusters
+        loose = cdhit_cluster(env_sample, 0.80).num_clusters
+        assert loose <= strict
+
+
+class TestUclust:
+    def test_max_rejects_validation(self):
+        with pytest.raises(ClusteringError):
+            uclust_cluster(IDENTICAL, 0.9, max_rejects=0)
+
+    def test_fewer_rejects_more_clusters(self, env_sample):
+        patient = uclust_cluster(env_sample, 0.95, max_rejects=32).num_clusters
+        hasty = uclust_cluster(env_sample, 0.95, max_rejects=1).num_clusters
+        assert patient <= hasty
+
+
+class TestEsprit:
+    def test_quick_mode_runs(self, env_sample):
+        a = esprit_cluster(env_sample, 0.95, refine_with_alignment=False)
+        assert a.num_sequences == len(env_sample)
+
+    def test_pruning_never_merges_distant(self):
+        a = esprit_cluster(TWO_GROUPS, 0.95, prune_margin=0.0)
+        labels = {rid[0] for rid in a if a[rid] == a["a0"]}
+        assert labels == {"a"}
+
+    def test_validation(self):
+        with pytest.raises(ClusteringError):
+            esprit_cluster(IDENTICAL, 0.9, prune_margin=-1)
+
+
+class TestDoturMothur:
+    def test_shared_matrix_consistency(self, env_sample):
+        m = alignment_distance_matrix(env_sample[:30])
+        d = dotur_cluster(env_sample[:30], 0.95, similarity=m)
+        mo = mothur_cluster(env_sample[:30], 0.95, similarity=m)
+        # Same substrate, close counts (binning shifts them slightly).
+        assert abs(d.num_clusters - mo.num_clusters) <= max(3, d.num_clusters // 3)
+
+    def test_matrix_properties(self, env_sample):
+        m = alignment_distance_matrix(env_sample[:12])
+        assert np.allclose(m, m.T)
+        assert np.allclose(np.diag(m), 1.0)
+        assert m.min() >= 0.0 and m.max() <= 1.0
+
+    def test_mothur_precision_validation(self):
+        with pytest.raises(ClusteringError):
+            mothur_cluster(IDENTICAL, 0.9, precision=0.0)
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ClusteringError):
+            alignment_distance_matrix([])
+
+
+class TestMetaCluster:
+    def test_rank_transform_normalised(self):
+        v = np.random.default_rng(0).random((5, 16))
+        ranks = _rank_transform(v)
+        assert np.allclose(np.linalg.norm(ranks, axis=1), 1.0)
+        assert np.allclose(ranks.mean(axis=1), 0.0, atol=1e-9)
+
+    def test_spearman_distance_bounds(self):
+        v = _rank_transform(np.random.default_rng(1).random((2, 32)))
+        d = spearman_distance(v[0], v[1])
+        assert 0.0 <= d <= 2.0
+        assert spearman_distance(v[0], v[0]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_merge_threshold_effect(self, env_sample):
+        few = MetaCluster(merge_distance=0.5, seed=0).fit(env_sample)
+        many = MetaCluster(merge_distance=0.01, seed=0).fit(env_sample)
+        assert few.num_clusters <= many.num_clusters
+
+    def test_validation(self):
+        with pytest.raises(ClusteringError):
+            MetaCluster(max_group_size=1)
+        with pytest.raises(ClusteringError):
+            MetaCluster(merge_distance=3.0)
+
+    def test_deterministic(self, env_sample):
+        a = MetaCluster(seed=5).fit(env_sample)
+        b = MetaCluster(seed=5).fit(env_sample)
+        assert dict(a) == dict(b)
+
+
+class TestBaselineQuality:
+    """All baselines must recover most of the OTU structure of an easy
+    environmental sample (purity against latent OTUs)."""
+
+    @pytest.mark.parametrize(
+        "name,fn", TestCommonContract.METHODS[:6],
+        ids=[m[0] for m in TestCommonContract.METHODS[:6]],
+    )
+    def test_purity(self, name, fn, env_sample, env_truth):
+        a = fn(env_sample)
+        assert purity_of(a, env_truth) > 0.9, name

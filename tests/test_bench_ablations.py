@@ -1,0 +1,54 @@
+"""Micro-scale tests of the ablation drivers (full-scale runs live under
+benchmarks/)."""
+
+import pytest
+
+from repro.bench.ablations import (
+    run_estimator_ablation,
+    run_kmer_ablation,
+    run_linkage_ablation,
+    run_num_hashes_ablation,
+)
+from repro.bench.harness import ExperimentScale
+
+
+@pytest.fixture(scope="module")
+def tiny_scale():
+    return ExperimentScale(
+        num_reads=60, genome_length=4000, min_cluster_size=2,
+        max_pairs_per_cluster=10,
+    )
+
+
+class TestEstimatorAblation:
+    def test_rows_and_table(self, tiny_scale):
+        table, rows = run_estimator_ablation(tiny_scale, num_pairs=50)
+        assert {r.setting for r in rows} == {"set", "positional"}
+        for r in rows:
+            assert r.estimator_rmse is not None
+            assert 0.0 <= r.estimator_rmse <= 1.0
+            assert r.num_clusters >= 1
+        assert "Estimator" in table.render()
+
+
+class TestNumHashesAblation:
+    def test_sweep(self, tiny_scale):
+        table, rows = run_num_hashes_ablation(tiny_scale, hash_counts=(8, 32))
+        assert [r.setting for r in rows] == ["n=8", "n=32"]
+        for r in rows:
+            assert r.w_acc is not None
+
+
+class TestKmerAblation:
+    def test_sweep(self, tiny_scale):
+        table, rows = run_kmer_ablation(tiny_scale, kmer_sizes=(4, 6))
+        assert [r.setting for r in rows] == ["k=4", "k=6"]
+        assert all(r.num_clusters >= 1 for r in rows)
+
+
+class TestLinkageAblation:
+    def test_all_linkages(self, tiny_scale):
+        table, rows = run_linkage_ablation(tiny_scale)
+        assert [r.setting for r in rows] == ["single", "average", "complete"]
+        counts = {r.setting: r.num_clusters for r in rows}
+        assert counts["single"] <= counts["complete"]

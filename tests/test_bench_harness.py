@@ -1,0 +1,132 @@
+"""Tests for the benchmark harness and the table/figure drivers at tiny
+scale (full-scale regeneration lives under benchmarks/)."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.bench.harness import ExperimentScale, MethodResult, evaluate_assignment, timed
+from repro.bench.tables import run_table1, run_table2, run_table3, run_table5
+from repro.bench.figures import Figure2Result, calibrate_from_measurement, run_figure2
+from repro.cluster.assignments import ClusterAssignment
+from repro.mapreduce.costmodel import HadoopCostModel
+from repro.seq.records import SequenceRecord
+
+
+class TestExperimentScale:
+    def test_defaults_valid(self):
+        scale = ExperimentScale()
+        assert scale.num_reads >= 10
+
+    def test_validation(self):
+        with pytest.raises(EvaluationError):
+            ExperimentScale(num_reads=1)
+        with pytest.raises(EvaluationError):
+            ExperimentScale(min_cluster_size=1)
+
+
+class TestEvaluateAssignment:
+    def _records(self):
+        return [
+            SequenceRecord("a0", "ACGTACGTACGTACGT", label="A"),
+            SequenceRecord("a1", "ACGTACGTACGTACGT", label="A"),
+            SequenceRecord("b0", "TTGGCCAATTGGCCAA", label="B"),
+            SequenceRecord("b1", "TTGGCCAATTGGCCAA", label="B"),
+        ]
+
+    def test_metrics_computed(self):
+        records = self._records()
+        assignment = ClusterAssignment({"a0": 0, "a1": 0, "b0": 1, "b1": 1})
+        scale = ExperimentScale(num_reads=10, min_cluster_size=2)
+        res = evaluate_assignment("m", "s", assignment, records, 1.0, scale=scale)
+        assert res.w_acc == 100.0
+        assert res.w_sim == pytest.approx(100.0)
+        assert res.num_clusters == 2
+        assert res.num_clusters_total == 2
+
+    def test_trimmed_count(self):
+        records = self._records() + [SequenceRecord("c0", "GGGGGGGGGGGGGGGG", label="C")]
+        assignment = ClusterAssignment({"a0": 0, "a1": 0, "b0": 1, "b1": 1, "c0": 2})
+        scale = ExperimentScale(num_reads=10, min_cluster_size=2)
+        res = evaluate_assignment("m", "s", assignment, records, 0.5, scale=scale)
+        assert res.num_clusters == 2  # singleton trimmed
+        assert res.num_clusters_total == 3
+
+    def test_accuracy_optional(self):
+        records = [
+            SequenceRecord("a0", "ACGTACGTACGTACGT"),
+            SequenceRecord("a1", "ACGTACGTACGTACGT"),
+        ]
+        assignment = ClusterAssignment({"a0": 0, "a1": 0})
+        scale = ExperimentScale(num_reads=10, min_cluster_size=2)
+        res = evaluate_assignment(
+            "m", "s", assignment, records, 0.1, scale=scale, with_accuracy=False
+        )
+        assert res.w_acc is None
+
+    def test_timed(self):
+        assignment, seconds = timed(lambda: ClusterAssignment({"x": 0}))
+        assert isinstance(assignment, ClusterAssignment)
+        assert seconds >= 0
+
+
+class TestTableDrivers:
+    def test_table1_rows(self):
+        table = run_table1()
+        assert len(table.rows) == 8
+        assert "53R" in str(table.render())
+
+    def test_table2_rows(self):
+        table = run_table2()
+        assert len(table.rows) == 15
+
+    def test_table3_tiny(self):
+        scale = ExperimentScale(
+            num_reads=40, genome_length=3000, min_cluster_size=2,
+            max_pairs_per_cluster=10,
+        )
+        table, results = run_table3(scale, samples=("S1",))
+        assert {r.method for r in results} == {
+            "MrMC-MinH^h", "MrMC-MinH^g", "MetaCluster"
+        }
+        hier = next(r for r in results if r.method == "MrMC-MinH^h")
+        assert hier.modeled_seconds is not None
+        assert hier.modeled_seconds > 0
+        assert "S1" in table.render()
+
+    def test_table5_tiny(self):
+        scale = ExperimentScale(
+            num_reads=40, genome_length=3000, min_cluster_size=2,
+            max_pairs_per_cluster=10,
+        )
+        table, results = run_table5(scale, samples=("53R",))
+        assert len(results) == 8  # eight methods
+        assert all(r.seconds >= 0 for r in results)
+        # Both matrix methods carry the shared matrix surcharge.
+        dotur = next(r for r in results if r.method == "DOTUR")
+        mothur = next(r for r in results if r.method == "Mothur")
+        assert dotur.seconds > 0.0
+        assert mothur.seconds > 0.0
+
+
+class TestFigure2Driver:
+    def test_calibration_positive(self):
+        model = calibrate_from_measurement(calibration_reads=40, genome_length=3000)
+        assert model.map_cost_per_record_s > 0
+        assert model.pair_cost_s > 0
+
+    def test_series_and_shape(self):
+        model = HadoopCostModel(
+            map_cost_per_record_s=1e-3, pair_cost_s=1e-6
+        )
+        table, result = run_figure2(
+            node_counts=(2, 8), read_counts=(1_000, 100_000), cost_model=model,
+        )
+        assert isinstance(result, Figure2Result)
+        series_small = result.series(1_000)
+        series_large = result.series(100_000)
+        assert [n for n, _ in series_small] == [2, 8]
+        # Small inputs insensitive, large inputs speed up.
+        small_ratio = series_small[0][1] / series_small[-1][1]
+        large_ratio = series_large[0][1] / series_large[-1][1]
+        assert small_ratio < large_ratio
+        assert "Figure 2" in table.render()

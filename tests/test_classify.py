@@ -1,0 +1,137 @@
+"""Tests for reference-based cluster classification."""
+
+import pytest
+
+from repro.errors import ClusteringError
+from repro.cluster.classify import (
+    Classification,
+    ReferenceDb,
+    classification_summary,
+    classify_clusters,
+)
+from repro.cluster.pipeline import MrMCMinH
+from repro.datasets.sixteen_s import SixteenSModel, amplicon_reads
+from repro.minhash.sketch import SketchingConfig
+
+CONFIG = SketchingConfig(kmer_size=8, num_hashes=48, seed=0)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SixteenSModel(divergence=0.25, seed=0)
+
+
+@pytest.fixture(scope="module")
+def references(model):
+    return {f"T{i}": model.gene_for_taxon(f"T{i}") for i in range(4)}
+
+
+@pytest.fixture(scope="module")
+def reads(model):
+    out = []
+    for i in range(3):  # reads from T0..T2; T3 has no reads
+        window = model.variable_window(model.gene_for_taxon(f"T{i}"), region=2, flank=30)
+        out.extend(
+            amplicon_reads(
+                window, 12, label=f"T{i}", id_prefix=f"t{i}",
+                mean_length=90, rng=i,
+            )
+        )
+    return out
+
+
+class TestReferenceDb:
+    def test_size_and_contains(self, references):
+        db = ReferenceDb(references, CONFIG)
+        assert len(db) == 4
+        assert "T0" in db and "nope" not in db
+
+    def test_empty_rejected(self):
+        with pytest.raises(ClusteringError):
+            ReferenceDb({}, CONFIG)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ClusteringError):
+            ReferenceDb([("x", "ACGTACGTACGT"), ("x", "ACGTACGTACGT")], CONFIG)
+
+    def test_unsketchable_reference_rejected(self):
+        with pytest.raises(ClusteringError, match="sketched"):
+            ReferenceDb({"tiny": "ACG"}, CONFIG)
+
+    def test_best_match_self(self, references, model):
+        db = ReferenceDb(references, CONFIG)
+        from repro.minhash.sketch import compute_sketch
+        from repro.seq.records import SequenceRecord
+
+        query = compute_sketch(
+            SequenceRecord("q", references["T2"]), CONFIG, CONFIG.make_family()
+        )
+        name, sim = db.best_match(query)
+        assert name == "T2"
+        assert sim == pytest.approx(1.0)
+
+
+class TestClassifyClusters:
+    def _run(self, reads):
+        run = MrMCMinH(
+            kmer_size=CONFIG.kmer_size, num_hashes=CONFIG.num_hashes,
+            threshold=0.5, seed=0,
+        ).fit(reads)
+        return run
+
+    def test_clusters_map_to_true_taxa(self, reads, references):
+        run = self._run(reads)
+        db = ReferenceDb(references, CONFIG)
+        classes = classify_clusters(
+            run.assignment, run.sketches, db, min_similarity=0.3, records=reads
+        )
+        # Each multi-read cluster's assigned reference must match the
+        # majority true label of its members.
+        truth = {r.read_id: r.label for r in reads}
+        correct = 0
+        checked = 0
+        for label, members in run.assignment.clusters().items():
+            if len(members) < 3:
+                continue
+            majority = max(
+                set(truth[m] for m in members),
+                key=lambda t: sum(truth[m] == t for m in members),
+            )
+            checked += 1
+            if classes[label].reference == majority:
+                correct += 1
+        assert checked > 0
+        assert correct / checked > 0.7
+
+    def test_orphan_detection(self, model, references):
+        # Reads from a taxon missing from the references.
+        window = model.variable_window(model.gene_for_taxon("NOVEL"), region=2, flank=30)
+        reads = amplicon_reads(window, 15, label="NOVEL", mean_length=90, rng=9)
+        run = self._run(reads)
+        db = ReferenceDb(references, CONFIG)
+        classes = classify_clusters(
+            run.assignment, run.sketches, db, min_similarity=0.6, records=reads
+        )
+        biggest = max(run.assignment.sizes(), key=run.assignment.sizes().get)
+        assert classes[biggest].is_orphan
+
+    def test_summary(self, reads, references):
+        run = self._run(reads)
+        db = ReferenceDb(references, CONFIG)
+        classes = classify_clusters(
+            run.assignment, run.sketches, db, min_similarity=0.3, records=reads
+        )
+        summary = classification_summary(classes, run.assignment)
+        assert sum(summary.values()) == run.assignment.num_sequences
+
+    def test_validation(self, reads, references):
+        run = self._run(reads)
+        db = ReferenceDb(references, CONFIG)
+        with pytest.raises(ClusteringError):
+            classify_clusters(run.assignment, run.sketches, db, min_similarity=2.0)
+
+    def test_classification_dataclass(self):
+        c = Classification(cluster=0, reference=None, similarity=0.1, representative="r")
+        assert c.is_orphan
+        c2 = Classification(cluster=0, reference="T1", similarity=0.9, representative="r")
+        assert not c2.is_orphan

@@ -1,0 +1,63 @@
+"""Tests for the stats/beta CLI commands and the --rescue option."""
+
+import pytest
+
+from repro.cli import main
+from repro.datasets import generate_environmental_sample
+from repro.seq.fasta import write_fasta
+
+
+@pytest.fixture
+def env_fasta(tmp_path):
+    reads = generate_environmental_sample("53R", num_reads=60, seed=4)
+    path = tmp_path / "env.fa"
+    write_fasta(reads, path)
+    return str(path)
+
+
+@pytest.fixture
+def env_fasta2(tmp_path):
+    reads = generate_environmental_sample("137", num_reads=60, seed=4)
+    path = tmp_path / "env2.fa"
+    write_fasta(reads, path)
+    return str(path)
+
+
+class TestStatsCommand:
+    def test_report(self, env_fasta, capsys):
+        assert main(["stats", env_fasta]) == 0
+        out = capsys.readouterr().out
+        assert "60 sequences" in out
+        assert "N50" in out
+        assert "length histogram" in out
+
+
+class TestBetaCommand:
+    def test_matrix(self, env_fasta, env_fasta2, capsys):
+        code = main(
+            ["beta", env_fasta, env_fasta2, "--hashes", "32", "--metric", "jaccard"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Beta diversity (jaccard)" in out
+        assert "env.fa" in out and "env2.fa" in out
+
+
+class TestRescueOption:
+    def test_rescue_reduces_clusters(self, env_fasta, tmp_path, capsys):
+        base_out = tmp_path / "base.tsv"
+        rescued_out = tmp_path / "rescued.tsv"
+        main(
+            ["cluster", env_fasta, "--kmer", "15", "--hashes", "50",
+             "--threshold", "0.95", "--output", str(base_out)]
+        )
+        main(
+            ["cluster", env_fasta, "--kmer", "15", "--hashes", "50",
+             "--threshold", "0.95", "--rescue", "0.5", "--output", str(rescued_out)]
+        )
+
+        def count_clusters(path):
+            labels = {line.split("\t")[1] for line in path.read_text().splitlines()}
+            return len(labels)
+
+        assert count_clusters(rescued_out) <= count_clusters(base_out)

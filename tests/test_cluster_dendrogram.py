@@ -1,0 +1,93 @@
+"""Tests for the dendrogram structure."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ClusteringError
+from repro.cluster.dendrogram import Dendrogram, MergeStep
+
+
+class TestDendrogramValidation:
+    def test_empty_ok(self):
+        d = Dendrogram(3)
+        assert len(d) == 0
+        assert not d.is_complete
+
+    def test_too_many_merges(self):
+        with pytest.raises(ClusteringError, match="exceed"):
+            Dendrogram(2, [MergeStep(0, 1, 0.9, 2), MergeStep(2, 0, 0.8, 3)])
+
+    def test_reuse_rejected(self):
+        d = Dendrogram(3, [MergeStep(0, 1, 0.9, 2)])
+        with pytest.raises(ClusteringError, match="reuses"):
+            d.append(MergeStep(0, 2, 0.5, 3))
+
+    def test_future_id_rejected(self):
+        with pytest.raises(ClusteringError, match="invalid cluster id"):
+            Dendrogram(3, [MergeStep(0, 5, 0.9, 2)])
+
+    def test_append_rolls_back_on_error(self):
+        d = Dendrogram(3, [MergeStep(0, 1, 0.9, 2)])
+        with pytest.raises(ClusteringError):
+            d.append(MergeStep(1, 2, 0.5, 3))
+        assert len(d) == 1
+
+    def test_zero_leaves_rejected(self):
+        with pytest.raises(ClusteringError):
+            Dendrogram(0)
+
+
+class TestCut:
+    def test_no_merges(self):
+        assert Dendrogram(3).cut(0.5) == [0, 1, 2]
+
+    def test_full_merge_chain(self):
+        d = Dendrogram(3, [MergeStep(0, 1, 0.9, 2), MergeStep(3, 2, 0.7, 3)])
+        assert d.cut(0.0) == [0, 0, 0]
+        assert d.cut(0.8) == [0, 0, 1]
+        assert d.cut(0.95) == [0, 1, 2]
+
+    def test_threshold_inclusive(self):
+        d = Dendrogram(2, [MergeStep(0, 1, 0.9, 2)])
+        assert d.cut(0.9) == [0, 0]
+
+    def test_labels_dense(self):
+        d = Dendrogram(4, [MergeStep(1, 2, 0.9, 2)])
+        labels = d.cut(0.5)
+        assert sorted(set(labels)) == list(range(len(set(labels))))
+
+
+class TestScipyExport:
+    def test_roundtrip_against_scipy(self):
+        from scipy.cluster.hierarchy import fcluster
+
+        d = Dendrogram(
+            4,
+            [
+                MergeStep(0, 1, 0.9, 2),
+                MergeStep(2, 3, 0.8, 2),
+                MergeStep(4, 5, 0.3, 4),
+            ],
+        )
+        Z = d.to_scipy_linkage()
+        assert Z.shape == (3, 4)
+        # Cut at distance 0.5 (similarity 0.5): scipy labels must induce
+        # the same partition as our cut.
+        ours = d.cut(0.5)
+        theirs = fcluster(Z, t=0.5, criterion="distance")
+        pairs_ours = {(i, j) for i in range(4) for j in range(4) if ours[i] == ours[j]}
+        pairs_theirs = {
+            (i, j) for i in range(4) for j in range(4) if theirs[i] == theirs[j]
+        }
+        assert pairs_ours == pairs_theirs
+
+    def test_incomplete_rejected(self):
+        d = Dendrogram(3, [MergeStep(0, 1, 0.9, 2)])
+        with pytest.raises(ClusteringError, match="complete"):
+            d.to_scipy_linkage()
+
+    def test_distance_conversion(self):
+        d = Dendrogram(2, [MergeStep(0, 1, 0.75, 2)])
+        Z = d.to_scipy_linkage()
+        assert Z[0, 2] == pytest.approx(0.25)
+        assert Z[0, 3] == 2

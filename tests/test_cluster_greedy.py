@@ -1,0 +1,110 @@
+"""Tests for the greedy clustering algorithm (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ClusteringError
+from repro.cluster.greedy import greedy_cluster
+from repro.minhash.sketch import MinHashSketch
+
+
+def sketches_from_rows(rows, key=(4, 1000, 0)):
+    return [
+        MinHashSketch(f"s{i}", np.asarray(row, dtype=np.int64), family_key=key)
+        for i, row in enumerate(rows)
+    ]
+
+
+class TestGreedyBasics:
+    def test_identical_sketches_one_cluster(self):
+        sk = sketches_from_rows([[1, 2, 3, 4]] * 5)
+        a = greedy_cluster(sk, threshold=1.0)
+        assert a.num_clusters == 1
+
+    def test_distinct_sketches_singletons(self):
+        sk = sketches_from_rows([[1, 2, 3, 4], [5, 6, 7, 8], [9, 10, 11, 12]])
+        a = greedy_cluster(sk, threshold=0.5)
+        assert a.num_clusters == 3
+
+    def test_threshold_zero_single_cluster(self):
+        sk = sketches_from_rows([[1, 2, 3, 4], [5, 6, 7, 8]])
+        a = greedy_cluster(sk, threshold=0.0)
+        assert a.num_clusters == 1
+
+    def test_representative_is_first_unassigned(self):
+        # s0 and s2 similar; s1 different.  First cluster forms around s0.
+        sk = sketches_from_rows([[1, 2, 3, 4], [9, 9, 9, 9], [1, 2, 3, 4]])
+        a = greedy_cluster(sk, threshold=0.9)
+        assert a["s0"] == a["s2"] == 0
+        assert a["s1"] == 1
+
+    def test_labels_in_creation_order(self):
+        sk = sketches_from_rows([[1] * 4, [2] * 4, [3] * 4])
+        a = greedy_cluster(sk, threshold=0.9)
+        assert [a[f"s{i}"] for i in range(3)] == [0, 1, 2]
+
+    def test_lower_threshold_fewer_clusters(self):
+        """The paper: 'lower value of θ allows more sequences to go into
+        the same cluster, resulting in less number of total clusters'."""
+        rng = np.random.default_rng(0)
+        rows = rng.integers(0, 20, size=(30, 16))
+        sk = sketches_from_rows(rows.tolist())
+        high = greedy_cluster(sk, threshold=0.9).num_clusters
+        low = greedy_cluster(sk, threshold=0.2).num_clusters
+        assert low <= high
+
+
+class TestGreedyEstimators:
+    def test_positional(self):
+        sk = sketches_from_rows([[1, 2, 3, 4], [1, 2, 9, 9]])
+        # 50% positional match.
+        a = greedy_cluster(sk, threshold=0.5, estimator="positional")
+        assert a.num_clusters == 1
+        b = greedy_cluster(sk, threshold=0.6, estimator="positional")
+        assert b.num_clusters == 2
+
+    def test_set_vs_positional_duplicates(self):
+        # Positionally 0% match, set-identical.
+        sk = sketches_from_rows([[1, 1, 2, 2], [2, 2, 1, 1]])
+        assert greedy_cluster(sk, 0.9, estimator="set").num_clusters == 1
+        assert greedy_cluster(sk, 0.9, estimator="positional").num_clusters == 2
+
+    def test_unknown_estimator(self):
+        sk = sketches_from_rows([[1, 2, 3, 4]])
+        with pytest.raises(ClusteringError, match="unknown estimator"):
+            greedy_cluster(sk, 0.5, estimator="nope")
+
+
+class TestGreedyValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ClusteringError):
+            greedy_cluster([], 0.5)
+
+    def test_bad_threshold(self):
+        sk = sketches_from_rows([[1, 2, 3, 4]])
+        with pytest.raises(ClusteringError):
+            greedy_cluster(sk, 1.5)
+
+    def test_duplicate_ids_rejected(self):
+        sk = [
+            MinHashSketch("dup", np.array([1, 2, 3, 4])),
+            MinHashSketch("dup", np.array([1, 2, 3, 4])),
+        ]
+        with pytest.raises(ClusteringError, match="unique"):
+            greedy_cluster(sk, 0.5)
+
+    def test_every_sequence_assigned(self):
+        rng = np.random.default_rng(1)
+        rows = rng.integers(0, 50, size=(40, 8))
+        sk = sketches_from_rows(rows.tolist())
+        a = greedy_cluster(sk, threshold=0.5)
+        assert a.num_sequences == 40
+
+
+class TestGreedyOnRealData:
+    def test_separates_families(self, two_family_sketches, two_family_records):
+        a = greedy_cluster(two_family_sketches, threshold=0.5, estimator="positional")
+        labels = {r.read_id: r.label for r in two_family_records}
+        # No cluster mixes the two families.
+        for _cl, members in a.clusters().items():
+            assert len({labels[m] for m in members}) == 1

@@ -1,0 +1,152 @@
+"""Tests for agglomerative hierarchical clustering (Algorithm 2),
+including exact cross-validation against scipy's linkage."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.cluster.hierarchy import fcluster, linkage
+from scipy.spatial.distance import squareform
+
+from repro.errors import ClusteringError
+from repro.cluster.hierarchical import (
+    LINKAGES,
+    agglomerative_cluster,
+    build_dendrogram,
+    cut_dendrogram,
+)
+
+
+def random_similarity(n, seed):
+    rng = np.random.default_rng(seed)
+    base = rng.random((n, n))
+    sim = (base + base.T) / 2
+    np.fill_diagonal(sim, 1.0)
+    return sim
+
+
+def partitions_equal(a, b):
+    n = len(a)
+    pa = {(i, j) for i in range(n) for j in range(n) if a[i] == a[j]}
+    pb = {(i, j) for i in range(n) for j in range(n) if b[i] == b[j]}
+    return pa == pb
+
+
+class TestBuildDendrogram:
+    def test_single_leaf(self):
+        d = build_dendrogram(np.array([[1.0]]))
+        assert d.num_leaves == 1
+        assert len(d) == 0
+
+    def test_complete_dendrogram(self):
+        d = build_dendrogram(random_similarity(8, 0))
+        assert d.is_complete
+
+    def test_merge_similarities_monotone_average(self):
+        """Average/complete linkage similarities never increase between
+        merges (reducibility)."""
+        for link in ("average", "complete"):
+            d = build_dendrogram(random_similarity(12, 1), linkage=link)
+            sims = [s.similarity for s in d.steps]
+            assert all(a >= b - 1e-9 for a, b in zip(sims, sims[1:])), link
+
+    def test_stop_threshold(self):
+        sim = np.array(
+            [
+                [1.0, 0.9, 0.1],
+                [0.9, 1.0, 0.1],
+                [0.1, 0.1, 1.0],
+            ]
+        )
+        d = build_dendrogram(sim, stop_threshold=0.5)
+        assert len(d) == 1  # only the 0.9 merge
+        assert d.steps[0].similarity == pytest.approx(0.9)
+
+    def test_validation(self):
+        with pytest.raises(ClusteringError, match="square"):
+            build_dendrogram(np.zeros((2, 3)))
+        with pytest.raises(ClusteringError, match="symmetric"):
+            build_dendrogram(np.array([[1.0, 0.2], [0.8, 1.0]]))
+        with pytest.raises(ClusteringError, match="\\[0, 1\\]"):
+            build_dendrogram(np.array([[1.0, 2.0], [2.0, 1.0]]))
+        with pytest.raises(ClusteringError, match="unknown linkage"):
+            build_dendrogram(random_similarity(3, 0), linkage="ward")
+        with pytest.raises(ClusteringError):
+            build_dendrogram(random_similarity(3, 0), stop_threshold=1.5)
+
+
+class TestScipyEquivalence:
+    """Our agglomeration must match scipy.cluster.hierarchy exactly
+    (similarity 1-d <-> distance d) for every linkage."""
+
+    @pytest.mark.parametrize("link", LINKAGES)
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_partition_at_thresholds(self, link, seed):
+        n = 14
+        sim = random_similarity(n, seed)
+        d = build_dendrogram(sim, linkage=link)
+        Z = linkage(squareform(1.0 - sim, checks=False), method=link)
+        for theta in (0.2, 0.4, 0.6, 0.8):
+            ours = d.cut(theta)
+            theirs = fcluster(Z, t=1.0 - theta, criterion="distance")
+            assert partitions_equal(ours, list(theirs)), (link, seed, theta)
+
+    @pytest.mark.parametrize("link", LINKAGES)
+    def test_merge_heights_match(self, link):
+        sim = random_similarity(10, 7)
+        d = build_dendrogram(sim, linkage=link)
+        Z = linkage(squareform(1.0 - sim, checks=False), method=link)
+        ours = sorted(1.0 - s.similarity for s in d.steps)
+        theirs = sorted(Z[:, 2])
+        assert np.allclose(ours, theirs, atol=1e-9), link
+
+
+class TestCutAndCluster:
+    def test_cut_dendrogram_wrapper(self):
+        d = build_dendrogram(random_similarity(6, 3))
+        labels = cut_dendrogram(d, 0.5)
+        assert len(labels) == 6
+        with pytest.raises(ClusteringError):
+            cut_dendrogram(d, 1.5)
+
+    def test_agglomerative_cluster_end_to_end(self):
+        sim = np.array(
+            [
+                [1.0, 0.95, 0.1, 0.1],
+                [0.95, 1.0, 0.1, 0.1],
+                [0.1, 0.1, 1.0, 0.9],
+                [0.1, 0.1, 0.9, 1.0],
+            ]
+        )
+        a = agglomerative_cluster(sim, ["a", "b", "c", "d"], 0.5)
+        assert a.num_clusters == 2
+        assert a["a"] == a["b"]
+        assert a["c"] == a["d"]
+        assert a["a"] != a["c"]
+
+    def test_id_count_mismatch(self):
+        with pytest.raises(ClusteringError):
+            agglomerative_cluster(random_similarity(3, 0), ["a", "b"], 0.5)
+
+    def test_threshold_one_only_perfect_merges(self):
+        sim = np.array([[1.0, 1.0], [1.0, 1.0]])
+        a = agglomerative_cluster(sim, ["a", "b"], 1.0)
+        assert a.num_clusters == 1
+
+    @given(st.integers(min_value=2, max_value=20), st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_cluster_count_bounds(self, n, seed):
+        sim = random_similarity(n, seed)
+        a = agglomerative_cluster(sim, [f"s{i}" for i in range(n)], 0.5)
+        assert 1 <= a.num_clusters <= n
+        assert a.num_sequences == n
+
+    def test_monotone_in_threshold(self):
+        """Higher θ can only produce more (or equally many) clusters."""
+        sim = random_similarity(15, 9)
+        ids = [f"s{i}" for i in range(15)]
+        counts = [
+            agglomerative_cluster(sim, ids, t).num_clusters
+            for t in (0.1, 0.3, 0.5, 0.7, 0.9)
+        ]
+        assert counts == sorted(counts)

@@ -1,0 +1,139 @@
+"""Tests for the row-partitioned similarity job and the MrMCMinH pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ClusteringError
+from repro.cluster.matrix import compute_similarity_matrix, similarity_band_job
+from repro.cluster.pipeline import MrMCMinH
+from repro.mapreduce.hdfs import SimulatedHDFS
+from repro.mapreduce.local import MultiprocessRunner
+from repro.minhash.similarity import pairwise_similarity_matrix
+from repro.seq.records import SequenceRecord
+
+
+class TestSimilarityJob:
+    def test_matches_direct_computation(self, two_family_sketches):
+        direct = pairwise_similarity_matrix(two_family_sketches)
+        via_job, result = compute_similarity_matrix(two_family_sketches, num_tasks=3)
+        assert np.allclose(direct, via_job)
+        assert result.trace is not None
+        assert len(result.trace.map_tasks) == 3
+
+    def test_single_task(self, two_family_sketches):
+        direct = pairwise_similarity_matrix(two_family_sketches)
+        via_job, _ = compute_similarity_matrix(two_family_sketches, num_tasks=1)
+        assert np.allclose(direct, via_job)
+
+    def test_more_tasks_than_rows(self, two_family_sketches):
+        via_job, _ = compute_similarity_matrix(two_family_sketches, num_tasks=999)
+        assert via_job.shape == (len(two_family_sketches),) * 2
+
+    def test_set_estimator(self, two_family_sketches):
+        direct = pairwise_similarity_matrix(two_family_sketches, estimator="set")
+        via_job, _ = compute_similarity_matrix(
+            two_family_sketches, estimator="set", num_tasks=2
+        )
+        assert np.allclose(direct, via_job)
+
+    def test_validation(self, two_family_sketches):
+        with pytest.raises(ClusteringError):
+            compute_similarity_matrix([], num_tasks=2)
+        with pytest.raises(ClusteringError):
+            compute_similarity_matrix(two_family_sketches, num_tasks=0)
+        with pytest.raises(ClusteringError):
+            similarity_band_job([])
+
+
+class TestMrMCMinHConstruction:
+    def test_defaults(self):
+        model = MrMCMinH()
+        assert model.method == "hierarchical"
+        assert model.estimator == "positional"
+
+    def test_greedy_default_estimator_is_paper_literal(self):
+        assert MrMCMinH(method="greedy").estimator == "set"
+
+    def test_validation(self):
+        with pytest.raises(ClusteringError):
+            MrMCMinH(method="kmeans")
+        with pytest.raises(ClusteringError):
+            MrMCMinH(linkage="ward")
+        with pytest.raises(ClusteringError):
+            MrMCMinH(threshold=2.0)
+        with pytest.raises(ClusteringError):
+            MrMCMinH(num_map_tasks=0)
+
+
+class TestMrMCMinHFit:
+    def test_hierarchical_separates_families(self, two_family_records):
+        model = MrMCMinH(kmer_size=5, num_hashes=48, threshold=0.5, seed=1)
+        run = model.fit(two_family_records)
+        labels = {r.read_id: r.label for r in two_family_records}
+        for members in run.assignment.clusters().values():
+            assert len({labels[m] for m in members}) == 1
+
+    def test_greedy_runs(self, two_family_records):
+        model = MrMCMinH(method="greedy", kmer_size=5, num_hashes=48, threshold=0.5)
+        run = model.fit(two_family_records)
+        assert run.similarity is None
+        assert run.assignment.num_sequences == len(two_family_records)
+
+    def test_hierarchical_outputs(self, two_family_records):
+        run = MrMCMinH(kmer_size=5, num_hashes=48, threshold=0.5).fit(two_family_records)
+        n = len(two_family_records)
+        assert run.similarity.shape == (n, n)
+        assert [t.job_name for t in run.traces] == ["sketch", "similarity", "cluster"]
+        assert set(run.timings) == {"sketch", "similarity", "cluster"}
+        assert run.wall_seconds > 0
+        assert run.counters.get("pipeline", "sequences_clustered") == n
+
+    def test_deterministic(self, two_family_records):
+        a = MrMCMinH(kmer_size=5, num_hashes=48, threshold=0.5, seed=3).fit(
+            two_family_records
+        )
+        b = MrMCMinH(kmer_size=5, num_hashes=48, threshold=0.5, seed=3).fit(
+            two_family_records
+        )
+        assert dict(a.assignment) == dict(b.assignment)
+
+    def test_short_reads_dropped(self):
+        records = [
+            SequenceRecord("long1", "ACGTACGTACGTACGT"),
+            SequenceRecord("tiny", "ACG"),
+            SequenceRecord("long2", "ACGTACGTACGTACGT"),
+        ]
+        run = MrMCMinH(kmer_size=5, num_hashes=16, threshold=0.5).fit(records)
+        assert set(run.assignment) == {"long1", "long2"}
+
+    def test_all_too_short_rejected(self):
+        with pytest.raises(ClusteringError, match="sketch"):
+            MrMCMinH(kmer_size=10, num_hashes=16).fit([SequenceRecord("r", "ACGT")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ClusteringError):
+            MrMCMinH().fit([])
+
+    def test_multiprocess_runner_matches_serial(self, two_family_records):
+        serial = MrMCMinH(kmer_size=5, num_hashes=48, threshold=0.5, seed=0).fit(
+            two_family_records
+        )
+        parallel = MrMCMinH(
+            kmer_size=5, num_hashes=48, threshold=0.5, seed=0,
+            runner=MultiprocessRunner(num_workers=2),
+        ).fit(two_family_records)
+        assert dict(serial.assignment) == dict(parallel.assignment)
+
+
+class TestHdfsRoundTrip:
+    def test_fit_hdfs(self, two_family_records):
+        hdfs = SimulatedHDFS(3, block_size=512)
+        MrMCMinH.stage_records(hdfs, "/in.fa", two_family_records)
+        model = MrMCMinH(kmer_size=5, num_hashes=48, threshold=0.5)
+        run = model.fit_hdfs(hdfs, "/in.fa", "/out.tsv")
+        text = hdfs.get_text("/out.tsv")
+        lines = text.strip().splitlines()
+        assert len(lines) == len(two_family_records)
+        for line in lines:
+            read_id, label = line.split("\t")
+            assert run.assignment[read_id] == int(label)

@@ -1,0 +1,130 @@
+"""Tests for UnionFind and ClusterAssignment."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ClusteringError
+from repro.cluster.assignments import ClusterAssignment
+from repro.cluster.unionfind import UnionFind
+
+
+class TestUnionFind:
+    def test_initial_state(self):
+        uf = UnionFind(5)
+        assert uf.num_sets == 5
+        assert len(uf) == 5
+        assert not uf.connected(0, 1)
+
+    def test_union_and_find(self):
+        uf = UnionFind(5)
+        assert uf.union(0, 1)
+        assert uf.connected(0, 1)
+        assert not uf.union(0, 1)  # already joined
+        assert uf.num_sets == 4
+
+    def test_transitivity(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.connected(0, 2)
+
+    def test_set_size(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.set_size(2) == 3
+        assert uf.set_size(3) == 1
+
+    def test_labels_dense_first_seen(self):
+        uf = UnionFind(4)
+        uf.union(2, 3)
+        labels = uf.labels()
+        assert labels[0] == 0
+        assert labels[1] == 1
+        assert labels[2] == labels[3] == 2
+
+    def test_out_of_range(self):
+        uf = UnionFind(3)
+        with pytest.raises(ClusteringError):
+            uf.find(3)
+        with pytest.raises(ClusteringError):
+            UnionFind(-1)
+
+    @given(st.lists(st.tuples(st.integers(0, 19), st.integers(0, 19)), max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_num_sets_invariant(self, unions):
+        """num_sets always equals the number of distinct labels."""
+        uf = UnionFind(20)
+        for a, b in unions:
+            uf.union(a, b)
+        assert uf.num_sets == len(set(uf.labels()))
+
+
+class TestClusterAssignment:
+    def test_basic_views(self):
+        a = ClusterAssignment({"r1": 0, "r2": 0, "r3": 1})
+        assert a.num_clusters == 2
+        assert a.num_sequences == 3
+        assert set(a.members(0)) == {"r1", "r2"}
+        assert a.sizes() == {0: 2, 1: 1}
+        assert a["r3"] == 1
+
+    def test_mapping_protocol(self):
+        a = ClusterAssignment({"x": 0})
+        assert len(a) == 1
+        assert list(a) == ["x"]
+        assert "x" in a
+
+    def test_empty_rejected(self):
+        with pytest.raises(ClusteringError):
+            ClusterAssignment({})
+
+    def test_negative_label_rejected(self):
+        with pytest.raises(ClusteringError):
+            ClusterAssignment({"r": -1})
+
+    def test_unknown_cluster(self):
+        a = ClusterAssignment({"r": 0})
+        with pytest.raises(ClusteringError):
+            a.members(5)
+
+    def test_filter_min_size(self):
+        a = ClusterAssignment({"a": 0, "b": 0, "c": 1})
+        filtered = a.filter_min_size(2)
+        assert filtered.num_clusters == 1
+        assert set(filtered) == {"a", "b"}
+
+    def test_filter_nothing_survives(self):
+        a = ClusterAssignment({"a": 0, "b": 1})
+        with pytest.raises(ClusteringError):
+            a.filter_min_size(5)
+
+    def test_relabeled_by_size(self):
+        a = ClusterAssignment({"a": 7, "b": 7, "c": 7, "d": 2})
+        r = a.relabeled()
+        assert r["a"] == 0  # biggest cluster gets label 0
+        assert r["d"] == 1
+        assert r.num_clusters == a.num_clusters
+
+    def test_from_labels(self):
+        a = ClusterAssignment.from_labels(["x", "y"], [1, 1])
+        assert a.num_clusters == 1
+
+    def test_from_labels_validation(self):
+        with pytest.raises(ClusteringError):
+            ClusterAssignment.from_labels(["x"], [1, 2])
+        with pytest.raises(ClusteringError):
+            ClusterAssignment.from_labels(["x", "x"], [1, 2])
+
+    def test_size_histogram(self):
+        a = ClusterAssignment({"a": 0, "b": 0, "c": 1, "d": 2})
+        assert a.size_histogram() == {2: 1, 1: 2}
+
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_sizes_sum_to_sequences(self, labels):
+        ids = [f"r{i}" for i in range(len(labels))]
+        a = ClusterAssignment.from_labels(ids, labels)
+        assert sum(a.sizes().values()) == a.num_sequences
+        assert a.num_clusters == len(set(labels))

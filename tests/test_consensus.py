@@ -1,0 +1,110 @@
+"""Tests for cluster consensus sequences."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ClusteringError
+from repro.cluster.assignments import ClusterAssignment
+from repro.cluster.consensus import cluster_consensus, consensus_sequence
+from repro.seq.error_models import SubstitutionErrorModel
+
+
+class TestConsensusSequence:
+    def test_identical_members(self):
+        assert consensus_sequence(["ACGTACGT"] * 5) == "ACGTACGT"
+
+    def test_majority_fixes_substitutions(self):
+        base = "ACGTACGTACGTACGT"
+        members = [base, base, base[:5] + "T" + base[6:], base[:9] + "A" + base[10:]]
+        assert consensus_sequence(members) == base
+
+    def test_error_cancellation_statistical(self):
+        """Random 5% errors across 9 members vote back to the template."""
+        rng = np.random.default_rng(0)
+        base = "".join(rng.choice(list("ACGT"), size=120))
+        model = SubstitutionErrorModel(0.05)
+        members = [base] + [model.apply(base, rng) for _ in range(8)]
+        assert consensus_sequence(members) == base
+
+    def test_deletion_majority_removes_column(self):
+        base = "AACCGGTT"
+        deleted = "AACGGTT"  # one C dropped
+        members = [deleted, deleted, base]
+        assert consensus_sequence(members, reference=base) == deleted
+
+    def test_empty_rejected(self):
+        with pytest.raises(ClusteringError):
+            consensus_sequence([])
+
+    def test_explicit_reference_anchor(self):
+        members = ["ACGT", "ACGT"]
+        assert consensus_sequence(members, reference="ACGT") == "ACGT"
+
+
+class TestClusterConsensus:
+    def test_per_cluster_output(self):
+        sequences = {
+            "a0": "ACGTACGTAC",
+            "a1": "ACGTACGTAC",
+            "a2": "ACGTTCGTAC",
+            "b0": "GGGGCCCCGG",
+            "b1": "GGGGCCCCGG",
+            "solo": "TTTTTTTTTT",
+        }
+        assignment = ClusterAssignment(
+            {"a0": 0, "a1": 0, "a2": 0, "b0": 1, "b1": 1, "solo": 2}
+        )
+        out = cluster_consensus(assignment, sequences, min_size=2)
+        assert set(out) == {0, 1}
+        assert out[0] == "ACGTACGTAC"
+        assert out[1] == "GGGGCCCCGG"
+
+    def test_missing_sequence_rejected(self):
+        assignment = ClusterAssignment({"x": 0, "y": 0})
+        with pytest.raises(ClusteringError, match="no sequence"):
+            cluster_consensus(assignment, {"x": "ACGT"}, min_size=2)
+
+    def test_validation(self):
+        assignment = ClusterAssignment({"x": 0})
+        with pytest.raises(ClusteringError):
+            cluster_consensus(assignment, {"x": "ACGT"}, min_size=0)
+        with pytest.raises(ClusteringError):
+            cluster_consensus(assignment, {"x": "ACGT"}, max_members=0)
+
+    def test_medoid_anchoring_with_sketches(self):
+        from repro.minhash.sketch import SketchingConfig, compute_sketches
+        from repro.seq.records import SequenceRecord
+
+        records = [
+            SequenceRecord("a0", "ACGTACGTACGTACGT"),
+            SequenceRecord("a1", "ACGTACGTACGTACGT"),
+            SequenceRecord("a2", "ACGTACGTACGTTCGT"),
+        ]
+        sketches = compute_sketches(
+            records, SketchingConfig(kmer_size=4, num_hashes=16, seed=0)
+        )
+        assignment = ClusterAssignment({"a0": 0, "a1": 0, "a2": 0})
+        out = cluster_consensus(
+            assignment,
+            {r.read_id: r.sequence for r in records},
+            sketches,
+            min_size=2,
+        )
+        assert out[0] == "ACGTACGTACGTACGT"
+
+    def test_end_to_end_on_noisy_otu(self):
+        """Consensus of a clustered noisy amplicon set recovers templates
+        more often than raw members do."""
+        from repro.cluster.pipeline import MrMCMinH
+        from repro.datasets.sixteen_s import SixteenSModel, amplicon_reads
+
+        model = SixteenSModel(divergence=0.25, seed=1)
+        window = model.variable_window(model.gene_for_taxon("T"), region=3)
+        reads = amplicon_reads(window, 30, label="T", mean_length=70, rng=1)
+        run = MrMCMinH(kmer_size=8, num_hashes=32, threshold=0.5, seed=1).fit(reads)
+        sequences = {r.read_id: r.sequence for r in reads}
+        consensi = cluster_consensus(run.assignment, sequences, run.sketches, min_size=3)
+        assert consensi  # at least one sizeable cluster
+        for seq in consensi.values():
+            assert set(seq) <= set("ACGT")
+            assert len(seq) > 20

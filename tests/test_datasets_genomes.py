@@ -1,0 +1,126 @@
+"""Tests for taxonomy mapping and genome generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.datasets.genomes import (
+    GenomeSpec,
+    mutate_genome,
+    random_genome,
+    random_substitution_bias,
+)
+from repro.datasets.taxonomy import (
+    RANK_DIVERGENCE,
+    RANKS,
+    Lineage,
+    divergence_for_rank,
+)
+from repro.seq.alphabet import gc_content
+
+
+class TestTaxonomy:
+    def test_ranks_ordered_by_divergence(self):
+        values = [RANK_DIVERGENCE[r] for r in RANKS]
+        assert values == sorted(values)
+
+    def test_lookup(self):
+        assert divergence_for_rank("Genus") == RANK_DIVERGENCE["genus"]
+        with pytest.raises(DatasetError):
+            divergence_for_rank("tribe")
+
+    def test_lineage_divergence_rank(self):
+        a = Lineage(kingdom="Bacteria", genus="Bacillus", species="subtilis")
+        b = Lineage(kingdom="Bacteria", genus="Bacillus", species="anthracis")
+        assert a.rank_of_divergence(b) == "species"
+        c = Lineage(kingdom="Archaea", genus="X", species="y")
+        assert a.rank_of_divergence(c) == "kingdom"
+
+    def test_identical_lineages_rejected(self):
+        a = Lineage(kingdom="Bacteria")
+        with pytest.raises(DatasetError):
+            a.rank_of_divergence(a)
+
+    def test_label(self):
+        assert Lineage(genus="Bacillus", species="subtilis").label() == "subtilis"
+        assert Lineage(kingdom="Bacteria").label() == "Bacteria"
+        with pytest.raises(DatasetError):
+            Lineage().label()
+
+
+class TestRandomGenome:
+    def test_length_and_alphabet(self):
+        g = random_genome(500, rng=0)
+        assert len(g) == 500
+        assert set(g) <= set("ACGT")
+
+    def test_gc_targeting(self):
+        for target in (0.3, 0.5, 0.7):
+            g = random_genome(20_000, gc_content=target, rng=1)
+            assert abs(gc_content(g) - target) < 0.02
+
+    def test_deterministic(self):
+        assert random_genome(100, rng=5) == random_genome(100, rng=5)
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            random_genome(0)
+        with pytest.raises(DatasetError):
+            random_genome(10, gc_content=1.5)
+
+    def test_spec_validation(self):
+        with pytest.raises(DatasetError):
+            GenomeSpec("", 100)
+        with pytest.raises(DatasetError):
+            GenomeSpec("x", 0)
+        with pytest.raises(DatasetError):
+            GenomeSpec("x", 100, gc_content=-0.1)
+
+
+class TestMutateGenome:
+    def test_zero_divergence_identity(self):
+        g = random_genome(200, rng=0)
+        assert mutate_genome(g, 0.0, rng=1) == g
+
+    def test_divergence_statistics(self):
+        g = random_genome(30_000, rng=0)
+        mutated = mutate_genome(g, 0.1, rng=1, indel_fraction=0.0)
+        diffs = sum(1 for a, b in zip(g, mutated) if a != b)
+        assert 0.08 < diffs / len(g) < 0.12
+
+    def test_indels_change_length(self):
+        g = random_genome(5000, rng=0)
+        mutated = mutate_genome(g, 0.2, rng=1, indel_fraction=1.0)
+        assert len(mutated) != len(g)
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            mutate_genome("", 0.1)
+        with pytest.raises(DatasetError):
+            mutate_genome("ACGT", 1.5)
+        with pytest.raises(DatasetError):
+            mutate_genome("ACGT", 0.1, indel_fraction=2.0)
+        with pytest.raises(DatasetError):
+            mutate_genome("ACGT", 0.1, max_indel=0)
+
+    def test_bias_matrix_validation(self):
+        bad = np.full((4, 4), 0.25)
+        with pytest.raises(DatasetError, match="zero diagonal"):
+            mutate_genome("ACGT" * 10, 0.5, substitution_bias=bad)
+        with pytest.raises(DatasetError, match="4x4"):
+            mutate_genome("ACGT" * 10, 0.5, substitution_bias=np.eye(3))
+
+    def test_bias_skews_composition(self):
+        """A bias that always substitutes toward G must raise G content."""
+        bias = np.zeros((4, 4))
+        bias[0, 2] = bias[1, 2] = bias[3, 2] = 1.0  # A,C,T -> G
+        bias[2, 0] = 1.0  # G -> A
+        g = "ACT" * 4000
+        mutated = mutate_genome(g, 0.4, rng=0, indel_fraction=0.0, substitution_bias=bias)
+        assert mutated.count("G") > g.count("G")
+
+    def test_random_bias_properties(self):
+        bias = random_substitution_bias(0)
+        assert bias.shape == (4, 4)
+        assert np.allclose(bias.sum(axis=1), 1.0)
+        assert np.allclose(np.diag(bias), 0.0)

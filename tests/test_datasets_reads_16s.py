@@ -1,0 +1,149 @@
+"""Tests for the shotgun read simulator and the 16S gene model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.datasets.genomes import random_genome
+from repro.datasets.reads import sample_community, shotgun_reads
+from repro.datasets.sixteen_s import SixteenSModel, amplicon_reads
+from repro.seq.error_models import SubstitutionErrorModel
+
+
+class TestShotgunReads:
+    def test_count_length_labels(self):
+        g = random_genome(2000, rng=0)
+        reads = shotgun_reads(g, 50, 100, label="X", rng=1)
+        assert len(reads) == 50
+        assert all(len(r) == 100 for r in reads)
+        assert all(r.label == "X" for r in reads)
+        assert len({r.read_id for r in reads}) == 50
+
+    def test_circular_wraparound(self):
+        g = "A" * 50 + "C" * 50
+        reads = shotgun_reads(g, 200, 60, label="X", circular=True, rng=0)
+        # Some read must span the origin (contain the C->A junction).
+        assert any("CA" in r.sequence for r in reads)
+
+    def test_linear_reads_are_substrings(self):
+        g = random_genome(500, rng=2)
+        reads = shotgun_reads(g, 30, 80, label="X", circular=False, rng=3)
+        assert all(r.sequence in g for r in reads)
+
+    def test_errors_applied(self):
+        g = random_genome(1000, rng=0)
+        clean = shotgun_reads(g, 20, 100, label="X", circular=False, rng=5)
+        noisy = shotgun_reads(
+            g, 20, 100, label="X", circular=False, rng=5,
+            error_model=SubstitutionErrorModel(0.2),
+        )
+        assert any(n.sequence not in g for n in noisy)
+        assert all(c.sequence in g for c in clean)
+
+    def test_validation(self):
+        g = random_genome(100, rng=0)
+        with pytest.raises(DatasetError):
+            shotgun_reads(g, -1, 50, label="X")
+        with pytest.raises(DatasetError):
+            shotgun_reads(g, 5, 0, label="X")
+        with pytest.raises(DatasetError):
+            shotgun_reads(g, 5, 200, label="X")  # read longer than genome
+
+
+class TestSampleCommunity:
+    def test_total_and_ratios(self):
+        genomes = [("a", random_genome(2000, rng=0)), ("b", random_genome(2000, rng=1))]
+        reads = sample_community(genomes, [1, 3], 400, 100, rng=2)
+        assert len(reads) == 400
+        counts = {"a": 0, "b": 0}
+        for r in reads:
+            counts[r.label] += 1
+        assert counts["b"] > counts["a"] * 2
+
+    def test_every_genome_represented(self):
+        genomes = [(f"g{i}", random_genome(1000, rng=i)) for i in range(3)]
+        reads = sample_community(genomes, [1, 1, 98], 100, 100, rng=0)
+        assert {r.label for r in reads} == {"g0", "g1", "g2"}
+
+    def test_shuffled(self):
+        genomes = [("a", random_genome(1000, rng=0)), ("b", random_genome(1000, rng=1))]
+        reads = sample_community(genomes, [1, 1], 100, 50, rng=2)
+        labels = [r.label for r in reads]
+        # Not all of genome a's reads first.
+        assert labels[:50] != ["a"] * 50
+
+    def test_validation(self):
+        g = [("a", random_genome(1000, rng=0))]
+        with pytest.raises(DatasetError):
+            sample_community(g, [1, 2], 10, 50)
+        with pytest.raises(DatasetError):
+            sample_community([], [], 10, 50)
+        with pytest.raises(DatasetError):
+            sample_community(g, [0], 10, 50)
+        with pytest.raises(DatasetError):
+            sample_community(g * 3, [1, 1, 1], 2, 50)
+
+
+class TestSixteenSModel:
+    def test_gene_length(self):
+        model = SixteenSModel(seed=0)
+        gene = model.gene_for_taxon("X")
+        # Indel-free expectation: conserved + variable regions.
+        assert abs(len(gene) - model.gene_length) < model.gene_length * 0.1
+
+    def test_conserved_regions_shared(self):
+        model = SixteenSModel(seed=0)
+        g1 = model.gene_for_taxon("A")
+        g2 = model.gene_for_taxon("B")
+        # First conserved block is identical across taxa.
+        assert g1[: model.conserved_length] == g2[: model.conserved_length]
+
+    def test_variable_regions_differ(self):
+        model = SixteenSModel(seed=0, divergence=0.3)
+        g1 = model.gene_for_taxon("A")
+        g2 = model.gene_for_taxon("B")
+        assert g1 != g2
+
+    def test_deterministic_per_taxon(self):
+        model = SixteenSModel(seed=0)
+        assert model.gene_for_taxon("A") == model.gene_for_taxon("A")
+
+    def test_variable_window(self):
+        model = SixteenSModel(seed=0)
+        gene = model.gene_for_taxon("A")
+        window = model.variable_window(gene, region=3, flank=20)
+        assert len(window) == model.variable_length + 40
+        with pytest.raises(DatasetError):
+            model.variable_window(gene, region=99)
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            SixteenSModel(num_regions=0)
+        with pytest.raises(DatasetError):
+            SixteenSModel(divergence=1.5)
+        with pytest.raises(DatasetError):
+            SixteenSModel(seed=0).gene_for_taxon("")
+
+
+class TestAmpliconReads:
+    def test_basic(self):
+        model = SixteenSModel(seed=0)
+        window = model.variable_window(model.gene_for_taxon("A"))
+        reads = amplicon_reads(window, 50, label="A", mean_length=60, rng=1)
+        assert len(reads) == 50
+        lengths = [len(r) for r in reads]
+        assert 45 < np.mean(lengths) < 75  # unequal lengths around the mean
+
+    def test_lengths_vary(self):
+        model = SixteenSModel(seed=0)
+        window = model.variable_window(model.gene_for_taxon("A"))
+        reads = amplicon_reads(window, 50, label="A", mean_length=60, rng=1)
+        assert len({len(r) for r in reads}) > 1
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            amplicon_reads("ACGTACGTACGT", -1, label="x")
+        with pytest.raises(DatasetError):
+            amplicon_reads("ACGT", 5, label="x")
+        with pytest.raises(DatasetError):
+            amplicon_reads("ACGTACGTACGT", 5, label="x", mean_length=5)

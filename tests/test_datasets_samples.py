@@ -1,0 +1,186 @@
+"""Tests for the Table I/II/IV sample factories."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.datasets.environmental import (
+    SOGIN_SAMPLES,
+    generate_environmental_sample,
+    spec_by_sid,
+)
+from repro.datasets.huse import HuseDatasetSpec, generate_huse_dataset
+from repro.datasets.whole_metagenome import (
+    WHOLE_METAGENOME_SPECS,
+    adjust_gc,
+    build_genomes,
+    generate_whole_metagenome_sample,
+)
+from repro.datasets.whole_metagenome import spec_by_sid as wm_spec_by_sid
+from repro.seq.alphabet import gc_content
+
+
+class TestSpecTables:
+    def test_table1_read_counts(self):
+        by_sid = {s.sid: s.num_reads for s in SOGIN_SAMPLES}
+        # Spot-check against Table I.
+        assert by_sid["53R"] == 11218
+        assert by_sid["FS396"] == 73657
+        assert len(SOGIN_SAMPLES) == 8
+
+    def test_table2_inventory(self):
+        sids = [s.sid for s in WHOLE_METAGENOME_SPECS]
+        assert sids == [f"S{i}" for i in range(1, 15)] + ["R1"]
+        s12 = wm_spec_by_sid("S12")
+        assert len(s12.species) == 6
+        assert s12.num_reads == 99994
+        assert not wm_spec_by_sid("R1").has_truth
+
+    def test_table2_gc_values(self):
+        s5 = wm_spec_by_sid("S5")
+        assert s5.species[0].gc == 0.35  # Bacillus anthracis
+        assert (s5.species[0].ratio, s5.species[1].ratio) == (1, 2)
+
+    def test_unknown_sid(self):
+        with pytest.raises(DatasetError):
+            spec_by_sid("nope")
+        with pytest.raises(DatasetError):
+            wm_spec_by_sid("S99")
+
+
+class TestAdjustGc:
+    def test_moves_toward_target(self):
+        g = "AT" * 5000
+        up = adjust_gc(g, 0.5, np.random.default_rng(0))
+        assert abs(gc_content(up) - 0.5) < 0.05
+
+    def test_downward(self):
+        g = "GC" * 5000
+        down = adjust_gc(g, 0.4, np.random.default_rng(0))
+        assert abs(gc_content(down) - 0.4) < 0.05
+
+    def test_noop_when_matched(self):
+        g = "ACGT" * 100
+        assert adjust_gc(g, 0.5, np.random.default_rng(0)) == g
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            adjust_gc("", 0.5)
+        with pytest.raises(DatasetError):
+            adjust_gc("ACGT", 1.5)
+
+
+class TestBuildGenomes:
+    def test_gc_targets_hit(self):
+        spec = wm_spec_by_sid("S5")
+        genomes = build_genomes(spec, genome_length=20_000, seed=0)
+        for (name, genome), sp in zip(genomes, spec.species):
+            assert abs(gc_content(genome) - sp.gc) < 0.03, name
+
+    def test_divergence_ordering(self):
+        """Species-level pairs must be more alike than order-level pairs."""
+        from repro.align.kmerdist import kmer_distance
+
+        s1 = build_genomes(wm_spec_by_sid("S1"), genome_length=8000, seed=0)
+        s8 = build_genomes(wm_spec_by_sid("S8"), genome_length=8000, seed=0)
+        d_species = kmer_distance(s1[0][1][:4000], s1[1][1][:4000], k=8)
+        d_order = kmer_distance(s8[0][1][:4000], s8[1][1][:4000], k=8)
+        assert d_species < d_order
+
+    def test_genome_too_short_rejected(self):
+        with pytest.raises(DatasetError):
+            build_genomes(wm_spec_by_sid("S1"), genome_length=100)
+
+
+class TestWholeMetagenomeSamples:
+    def test_read_count_and_labels(self):
+        reads = generate_whole_metagenome_sample("S9", num_reads=100, genome_length=4000)
+        assert len(reads) == 100
+        assert {r.label for r in reads} == {
+            "Gluconobacter oxydans",
+            "Granulobacter bethesdensis",
+            "Nitrobacter hamburgensis",
+        }
+
+    def test_abundance_ratio(self):
+        reads = generate_whole_metagenome_sample("S9", num_reads=200, genome_length=4000)
+        counts = {}
+        for r in reads:
+            counts[r.label] = counts.get(r.label, 0) + 1
+        # 1:1:8 — Nitrobacter dominates.
+        assert counts["Nitrobacter hamburgensis"] > 100
+
+    def test_deterministic(self):
+        a = generate_whole_metagenome_sample("S1", num_reads=50, genome_length=3000, seed=4)
+        b = generate_whole_metagenome_sample("S1", num_reads=50, genome_length=3000, seed=4)
+        assert [(r.read_id, r.sequence) for r in a] == [(r.read_id, r.sequence) for r in b]
+
+    def test_accepts_spec_object(self):
+        reads = generate_whole_metagenome_sample(
+            wm_spec_by_sid("S13"), num_reads=40, genome_length=3000
+        )
+        assert len(reads) == 40
+
+
+class TestEnvironmentalSamples:
+    def test_read_count_and_otus(self):
+        reads = generate_environmental_sample("55R", num_reads=300, seed=0)
+        assert len(reads) <= 300  # empty post-error reads may drop
+        assert len(reads) > 280
+        otus = {r.label for r in reads}
+        assert 10 < len(otus) < 60  # ~0.12 OTUs per read
+
+    def test_rare_biosphere_abundance(self):
+        reads = generate_environmental_sample("53R", num_reads=500, seed=1)
+        counts = {}
+        for r in reads:
+            counts[r.label] = counts.get(r.label, 0) + 1
+        sizes = sorted(counts.values(), reverse=True)
+        # Heavy head, long tail.
+        assert sizes[0] > 5 * sizes[len(sizes) // 2]
+
+    def test_mean_length(self):
+        reads = generate_environmental_sample("137", num_reads=200, seed=0)
+        mean_len = np.mean([len(r) for r in reads])
+        assert 50 < mean_len < 75  # Table I: ~60 bp average
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            generate_environmental_sample("53R", num_reads=0)
+
+
+class TestHuseDataset:
+    def test_reference_count(self):
+        reads = generate_huse_dataset(num_reads=430, seed=0)
+        assert len({r.label for r in reads}) == 43
+
+    def test_error_limits_ordered(self):
+        """Reads at the 3% limit are closer to their reference than at 5%."""
+        from repro.align.banded import banded_identity
+
+        def mean_identity(limit):
+            spec = HuseDatasetSpec(error_limit=limit)
+            reads = generate_huse_dataset(spec, num_reads=86, seed=0)
+            by_ref = {}
+            for r in reads:
+                by_ref.setdefault(r.label, []).append(r.sequence)
+            idents = []
+            for seqs in by_ref.values():
+                if len(seqs) >= 2:
+                    idents.append(banded_identity(seqs[0], seqs[1], band=10))
+            return np.mean(idents)
+
+        assert mean_identity(0.03) > mean_identity(0.05)
+
+    def test_read_length(self):
+        spec = HuseDatasetSpec()
+        reads = generate_huse_dataset(spec, num_reads=86, seed=0)
+        assert all(len(r) <= spec.read_length for r in reads)
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            HuseDatasetSpec(num_references=1)
+        with pytest.raises(DatasetError):
+            HuseDatasetSpec(error_limit=0.9)
+        with pytest.raises(DatasetError):
+            generate_huse_dataset(num_reads=10)  # < 43 references

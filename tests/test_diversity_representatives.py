@@ -1,0 +1,196 @@
+"""Tests for diversity metrics, representative selection, and
+multi-threshold dendrogram cuts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ClusteringError, EvaluationError
+from repro.cluster.assignments import ClusterAssignment
+from repro.cluster.hierarchical import build_dendrogram, multi_threshold_cut
+from repro.cluster.representatives import (
+    representative_records,
+    select_representatives,
+)
+from repro.eval.diversity import (
+    chao1,
+    goods_coverage,
+    rarefaction_curve,
+    shannon_index,
+    simpson_index,
+)
+from repro.minhash.sketch import MinHashSketch
+from repro.seq.records import SequenceRecord
+
+
+def assignment_from_sizes(sizes):
+    labels = {}
+    i = 0
+    for cluster, size in enumerate(sizes):
+        for _ in range(size):
+            labels[f"r{i}"] = cluster
+            i += 1
+    return ClusterAssignment(labels)
+
+
+class TestChao1:
+    def test_no_singletons_equals_observed(self):
+        a = assignment_from_sizes([5, 4, 3])
+        assert chao1(a) == 3.0
+
+    def test_singleton_correction(self):
+        # S_obs=4, F1=2, F2=1 -> 4 + 4/2 = 6.
+        a = assignment_from_sizes([5, 2, 1, 1])
+        assert chao1(a) == pytest.approx(6.0)
+
+    def test_no_doubletons_bias_corrected(self):
+        # S_obs=3, F1=2, F2=0 -> 3 + 2*1/2 = 4.
+        a = assignment_from_sizes([5, 1, 1])
+        assert chao1(a) == pytest.approx(4.0)
+
+    def test_at_least_observed(self):
+        for sizes in ([1], [3, 1, 1, 1], [10, 10]):
+            a = assignment_from_sizes(sizes)
+            assert chao1(a) >= a.num_clusters
+
+
+class TestShannonSimpson:
+    def test_single_otu_zero(self):
+        a = assignment_from_sizes([10])
+        assert shannon_index(a) == pytest.approx(0.0)
+        assert simpson_index(a) == pytest.approx(0.0)
+
+    def test_even_community_maximal(self):
+        even = assignment_from_sizes([5, 5, 5, 5])
+        skewed = assignment_from_sizes([17, 1, 1, 1])
+        assert shannon_index(even) > shannon_index(skewed)
+        assert simpson_index(even) > simpson_index(skewed)
+        assert shannon_index(even) == pytest.approx(np.log(4))
+        assert simpson_index(even) == pytest.approx(0.75)
+
+    @given(st.lists(st.integers(1, 20), min_size=1, max_size=15))
+    @settings(max_examples=50, deadline=None)
+    def test_bounds(self, sizes):
+        a = assignment_from_sizes(sizes)
+        assert 0.0 <= shannon_index(a) <= np.log(len(sizes)) + 1e-9
+        assert 0.0 <= simpson_index(a) < 1.0
+
+
+class TestCoverageRarefaction:
+    def test_coverage(self):
+        a = assignment_from_sizes([8, 1, 1])  # F1=2, N=10
+        assert goods_coverage(a) == pytest.approx(0.8)
+
+    def test_rarefaction_endpoints(self):
+        a = assignment_from_sizes([5, 3, 2])
+        curve = rarefaction_curve(a, depths=[1, 10])
+        assert curve[0][1] == pytest.approx(1.0)  # one read -> one OTU
+        assert curve[-1][1] == pytest.approx(3.0)  # full depth -> all OTUs
+
+    def test_monotone_nondecreasing(self):
+        a = assignment_from_sizes([20, 5, 3, 1, 1])
+        curve = rarefaction_curve(a)
+        values = [v for _, v in curve]
+        assert values == sorted(values)
+
+    def test_bad_depth(self):
+        a = assignment_from_sizes([3])
+        with pytest.raises(EvaluationError):
+            rarefaction_curve(a, depths=[0])
+        with pytest.raises(EvaluationError):
+            rarefaction_curve(a, depths=[99])
+
+
+def make_sketches(rows):
+    return [
+        MinHashSketch(f"r{i}", np.asarray(row, dtype=np.int64), family_key=(4, 10, 0))
+        for i, row in enumerate(rows)
+    ]
+
+
+class TestRepresentatives:
+    def test_medoid_is_central(self):
+        # r0 and r1 identical; r2 differs: in a single cluster the medoid
+        # must be one of the two identical members.
+        sketches = make_sketches([[1, 2, 3, 4], [1, 2, 3, 4], [9, 9, 3, 4]])
+        a = ClusterAssignment({"r0": 0, "r1": 0, "r2": 0})
+        reps = select_representatives(a, sketches, policy="medoid")
+        assert reps[0] in ("r0", "r1")
+
+    def test_singleton(self):
+        sketches = make_sketches([[1, 2, 3, 4]])
+        a = ClusterAssignment({"r0": 0})
+        assert select_representatives(a, sketches)[0] == "r0"
+
+    def test_longest_policy(self):
+        sketches = make_sketches([[1, 2, 3, 4], [1, 2, 3, 4]])
+        a = ClusterAssignment({"r0": 0, "r1": 0})
+        seqs = {"r0": "ACGT", "r1": "ACGTACGT"}
+        reps = select_representatives(a, sketches, policy="longest", sequences=seqs)
+        assert reps[0] == "r1"
+
+    def test_one_rep_per_cluster(self):
+        sketches = make_sketches([[1] * 4, [1] * 4, [2] * 4, [3] * 4])
+        a = ClusterAssignment({"r0": 0, "r1": 0, "r2": 1, "r3": 2})
+        reps = select_representatives(a, sketches)
+        assert set(reps) == {0, 1, 2}
+        for label, rid in reps.items():
+            assert a[rid] == label
+
+    def test_validation(self):
+        sketches = make_sketches([[1, 2, 3, 4]])
+        a = ClusterAssignment({"r0": 0})
+        with pytest.raises(ClusteringError):
+            select_representatives(a, sketches, policy="rand")
+        with pytest.raises(ClusteringError, match="needs sequences"):
+            select_representatives(a, sketches, policy="longest")
+        with pytest.raises(ClusteringError, match="no sketch"):
+            select_representatives(ClusterAssignment({"zz": 0}), sketches)
+
+    def test_representative_records(self):
+        sketches = make_sketches([[1] * 4, [2] * 4])
+        a = ClusterAssignment({"r0": 0, "r1": 1})
+        records = [SequenceRecord("r0", "ACGT"), SequenceRecord("r1", "TTTT")]
+        reps = representative_records(a, sketches, records)
+        assert [r.read_id for r in reps] == ["r0", "r1"]
+
+
+class TestMultiThresholdCut:
+    def test_nested_partitions(self):
+        rng = np.random.default_rng(0)
+        base = rng.random((10, 10))
+        sim = (base + base.T) / 2
+        np.fill_diagonal(sim, 1.0)
+        d = build_dendrogram(sim)
+        ids = [f"r{i}" for i in range(10)]
+        cuts = multi_threshold_cut(d, ids, [0.3, 0.6, 0.9])
+        # Nesting: co-members at high θ stay together at lower θ.
+        for hi, lo in ((0.9, 0.6), (0.6, 0.3)):
+            for a in ids:
+                for b in ids:
+                    if cuts[hi][a] == cuts[hi][b]:
+                        assert cuts[lo][a] == cuts[lo][b]
+
+    def test_counts_monotone(self):
+        rng = np.random.default_rng(1)
+        base = rng.random((12, 12))
+        sim = (base + base.T) / 2
+        np.fill_diagonal(sim, 1.0)
+        d = build_dendrogram(sim)
+        ids = [f"r{i}" for i in range(12)]
+        cuts = multi_threshold_cut(d, ids, [0.2, 0.5, 0.8])
+        assert (
+            cuts[0.2].num_clusters
+            <= cuts[0.5].num_clusters
+            <= cuts[0.8].num_clusters
+        )
+
+    def test_validation(self):
+        d = build_dendrogram(np.array([[1.0, 0.5], [0.5, 1.0]]))
+        with pytest.raises(ClusteringError):
+            multi_threshold_cut(d, ["a", "b"], [])
+        with pytest.raises(ClusteringError):
+            multi_threshold_cut(d, ["a"], [0.5])
+        with pytest.raises(ClusteringError):
+            multi_threshold_cut(d, ["a", "b"], [1.5])

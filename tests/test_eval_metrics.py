@@ -1,0 +1,206 @@
+"""Tests for the evaluation metrics (W.Acc, W.Sim, purity/NMI/ARI)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EvaluationError
+from repro.cluster.assignments import ClusterAssignment
+from repro.eval.accuracy import weighted_cluster_accuracy
+from repro.eval.metrics import (
+    adjusted_rand_index,
+    contingency_table,
+    normalized_mutual_information,
+    purity,
+)
+from repro.eval.report import Table, format_table
+from repro.eval.similarity import _unrank_pair, weighted_cluster_similarity
+
+
+def assignment_from(labels):
+    return ClusterAssignment.from_labels(
+        [f"r{i}" for i in range(len(labels))], labels
+    )
+
+
+def truth_from(classes):
+    return {f"r{i}": c for i, c in enumerate(classes)}
+
+
+class TestWeightedAccuracy:
+    def test_perfect(self):
+        a = assignment_from([0, 0, 1, 1])
+        t = truth_from(["x", "x", "y", "y"])
+        assert weighted_cluster_accuracy(a, t) == 100.0
+
+    def test_majority_designation(self):
+        # Cluster 0: 2x, 1y -> designated x, 2/3 correct.
+        a = assignment_from([0, 0, 0])
+        t = truth_from(["x", "x", "y"])
+        assert weighted_cluster_accuracy(a, t) == pytest.approx(100 * 2 / 3)
+
+    def test_weighting_by_size(self):
+        # Cluster 0 (4 seqs, 3 correct) + cluster 1 (2 seqs, 1 correct):
+        # weighted = (3+1)/6.
+        a = assignment_from([0, 0, 0, 0, 1, 1])
+        t = truth_from(["x", "x", "x", "y", "z", "w"])
+        assert weighted_cluster_accuracy(a, t) == pytest.approx(100 * 4 / 6)
+
+    def test_min_cluster_size_filter(self):
+        a = assignment_from([0, 0, 1])
+        t = truth_from(["x", "y", "z"])
+        assert weighted_cluster_accuracy(a, t, min_cluster_size=2) == pytest.approx(50.0)
+
+    def test_as_fraction(self):
+        a = assignment_from([0, 0])
+        t = truth_from(["x", "x"])
+        assert weighted_cluster_accuracy(a, t, as_percent=False) == 1.0
+
+    def test_missing_truth_rejected(self):
+        a = assignment_from([0])
+        with pytest.raises(EvaluationError, match="ground-truth"):
+            weighted_cluster_accuracy(a, {})
+
+    def test_filter_everything_rejected(self):
+        a = assignment_from([0, 1])
+        t = truth_from(["x", "y"])
+        with pytest.raises(EvaluationError):
+            weighted_cluster_accuracy(a, t, min_cluster_size=5)
+
+    def test_equals_purity_when_unfiltered(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 4, size=40).tolist()
+        classes = [str(c) for c in rng.integers(0, 3, size=40)]
+        a = assignment_from(labels)
+        t = truth_from(classes)
+        assert weighted_cluster_accuracy(a, t, as_percent=False) == pytest.approx(
+            purity(a, t)
+        )
+
+
+class TestWeightedSimilarity:
+    def test_identical_cluster(self):
+        a = assignment_from([0, 0, 0])
+        seqs = {f"r{i}": "ACGTACGTACGT" for i in range(3)}
+        assert weighted_cluster_similarity(a, seqs) == pytest.approx(100.0)
+
+    def test_mixed_cluster_lower(self):
+        a = assignment_from([0, 0])
+        seqs = {"r0": "AAAAAAAAAA", "r1": "TTTTTTTTTT"}
+        assert weighted_cluster_similarity(a, seqs) == pytest.approx(0.0)
+
+    def test_exact_vs_sampled(self):
+        rng = np.random.default_rng(0)
+        seqs = {}
+        labels = []
+        for i in range(12):
+            base = "ACGTACGTGGCCTTAA" * 3
+            noisy = list(base)
+            for p in rng.choice(len(base), size=3, replace=False):
+                noisy[p] = "ACGT"[int(rng.integers(4))]
+            seqs[f"r{i}"] = "".join(noisy)
+            labels.append(0)
+        a = assignment_from(labels)
+        exact = weighted_cluster_similarity(a, seqs, max_pairs_per_cluster=None)
+        sampled = weighted_cluster_similarity(a, seqs, max_pairs_per_cluster=30, seed=1)
+        assert abs(exact - sampled) < 3.0
+
+    def test_min_size_filter(self):
+        a = assignment_from([0, 0, 1])
+        seqs = {"r0": "ACGTACGT", "r1": "ACGTACGT", "r2": "TTTTTTTT"}
+        # Cluster 1 is a singleton: excluded.
+        assert weighted_cluster_similarity(a, seqs, min_cluster_size=2) == 100.0
+
+    def test_missing_sequence_rejected(self):
+        a = assignment_from([0, 0])
+        with pytest.raises(EvaluationError, match="no sequence"):
+            weighted_cluster_similarity(a, {"r0": "ACGT"})
+
+    def test_all_singletons_rejected(self):
+        a = assignment_from([0, 1])
+        seqs = {"r0": "ACGT", "r1": "ACGT"}
+        with pytest.raises(EvaluationError):
+            weighted_cluster_similarity(a, seqs, min_cluster_size=2)
+
+    def test_validation(self):
+        a = assignment_from([0, 0])
+        seqs = {"r0": "ACGT", "r1": "ACGT"}
+        with pytest.raises(EvaluationError):
+            weighted_cluster_similarity(a, seqs, min_cluster_size=1)
+        with pytest.raises(EvaluationError):
+            weighted_cluster_similarity(a, seqs, max_pairs_per_cluster=0)
+
+    def test_unrank_pair_bijective(self):
+        n = 9
+        seen = set()
+        for rank in range(n * (n - 1) // 2):
+            i, j = _unrank_pair(rank, n)
+            assert 0 <= i < j < n
+            seen.add((i, j))
+        assert len(seen) == n * (n - 1) // 2
+
+
+class TestStandardMetrics:
+    def test_contingency(self):
+        a = assignment_from([0, 0, 1])
+        t = truth_from(["x", "y", "y"])
+        table, clusters, classes = contingency_table(a, t)
+        assert table.sum() == 3
+        assert clusters == [0, 1]
+        assert classes == ["x", "y"]
+
+    def test_perfect_scores(self):
+        a = assignment_from([0, 0, 1, 1, 2])
+        t = truth_from(["a", "a", "b", "b", "c"])
+        assert purity(a, t) == 1.0
+        assert normalized_mutual_information(a, t) == pytest.approx(1.0)
+        assert adjusted_rand_index(a, t) == pytest.approx(1.0)
+
+    def test_single_cluster_vs_many_classes(self):
+        a = assignment_from([0, 0, 0, 0])
+        t = truth_from(["a", "b", "c", "d"])
+        assert purity(a, t) == 0.25
+        assert normalized_mutual_information(a, t) == pytest.approx(0.0)
+
+    def test_ari_random_near_zero(self):
+        rng = np.random.default_rng(2)
+        labels = rng.integers(0, 5, size=200).tolist()
+        classes = [str(c) for c in rng.integers(0, 5, size=200)]
+        ari = adjusted_rand_index(assignment_from(labels), truth_from(classes))
+        assert abs(ari) < 0.1
+
+    @given(st.lists(st.integers(0, 3), min_size=2, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_bounds(self, labels):
+        a = assignment_from(labels)
+        t = truth_from([str(x % 2) for x in range(len(labels))])
+        assert 0.0 <= purity(a, t) <= 1.0
+        assert 0.0 <= normalized_mutual_information(a, t) <= 1.0
+        assert -1.0 <= adjusted_rand_index(a, t) <= 1.0
+
+
+class TestReportTable:
+    def test_render(self):
+        t = Table("Title", ["A", "B"])
+        t.add_row("x", 1.234)
+        out = t.render()
+        assert "Title" in out
+        assert "1.23" in out
+        assert "x" in out
+
+    def test_arity_check(self):
+        t = Table("T", ["A"])
+        with pytest.raises(EvaluationError):
+            t.add_row(1, 2)
+
+    def test_format_validation(self):
+        with pytest.raises(EvaluationError):
+            format_table("t", [], [])
+        with pytest.raises(EvaluationError):
+            format_table("t", ["a"], [[1, 2]])
+
+    def test_alignment(self):
+        out = format_table("t", ["col"], [["very-long-value"], ["x"]])
+        lines = out.splitlines()
+        assert len(lines[-1]) == len(lines[-2])  # padded

@@ -1,0 +1,191 @@
+"""Tests for HDFS input formats (block-boundary record splitting) and
+FASTQ parsing/quality trimming."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FastaParseError, HdfsError
+from repro.mapreduce.hdfs import SimulatedHDFS
+from repro.mapreduce.inputformat import FastaInputFormat, TextInputFormat
+from repro.seq.fasta import format_fasta, read_fasta_text
+from repro.seq.fastq import (
+    FastqRecord,
+    decode_qualities,
+    encode_qualities,
+    fastq_to_fasta,
+    read_fastq_text,
+)
+from repro.seq.records import SequenceRecord
+
+
+def hdfs_with(text, block_size):
+    fs = SimulatedHDFS(3, block_size=block_size, replication=2, seed=0)
+    fs.put("/f", text)
+    return fs
+
+
+class TestTextInputFormat:
+    def test_all_lines_exactly_once(self):
+        lines = [f"line-{i:03d}" for i in range(40)]
+        text = "\n".join(lines) + "\n"
+        for block_size in (7, 16, 64, 4096):
+            fs = hdfs_with(text, block_size)
+            fmt = TextInputFormat(fs, "/f")
+            collected = [line for _off, line in fmt.read_all()]
+            assert collected == lines, f"block_size={block_size}"
+
+    def test_no_duplicates_across_splits(self):
+        text = "\n".join(f"x{i}" for i in range(30)) + "\n"
+        fs = hdfs_with(text, 11)
+        fmt = TextInputFormat(fs, "/f")
+        seen = []
+        for split in range(fmt.num_splits):
+            seen.extend(line for _off, line in fmt.read_split(split))
+        assert len(seen) == len(set(seen)) == 30
+
+    def test_offsets_are_byte_positions(self):
+        text = "aa\nbbb\ncccc\n"
+        fs = hdfs_with(text, 4)
+        fmt = TextInputFormat(fs, "/f")
+        records = list(fmt.read_all())
+        for off, line in records:
+            assert text[off : off + len(line)] == line
+
+    def test_split_out_of_range(self):
+        fs = hdfs_with("x\n", 16)
+        fmt = TextInputFormat(fs, "/f")
+        with pytest.raises(HdfsError):
+            fmt.read_split(5)
+
+    @given(
+        st.lists(st.text(alphabet="abc", min_size=1, max_size=12), min_size=1, max_size=25),
+        st.integers(min_value=3, max_value=40),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_reassembly(self, lines, block_size):
+        text = "\n".join(lines) + "\n"
+        fs = hdfs_with(text, block_size)
+        fmt = TextInputFormat(fs, "/f")
+        assert [line for _o, line in fmt.read_all()] == lines
+
+
+class TestFastaInputFormat:
+    def _records(self, n=12, seed=0):
+        rng = np.random.default_rng(seed)
+        return [
+            SequenceRecord(
+                f"r{i:02d}",
+                "".join(rng.choice(list("ACGT"), size=int(rng.integers(20, 90)))),
+            )
+            for i in range(n)
+        ]
+
+    def test_all_records_exactly_once(self):
+        records = self._records()
+        text = format_fasta(records)
+        for block_size in (13, 37, 100, 8192):
+            fs = hdfs_with(text, block_size)
+            fmt = FastaInputFormat(fs, "/f")
+            collected = fmt.read_all()
+            assert [(r.read_id, r.sequence) for r in collected] == [
+                (r.read_id, r.sequence) for r in records
+            ], f"block_size={block_size}"
+
+    def test_splits_partition_records(self):
+        records = self._records(n=20, seed=1)
+        fs = hdfs_with(format_fasta(records), 61)
+        fmt = FastaInputFormat(fs, "/f")
+        ids = []
+        for split in range(fmt.num_splits):
+            ids.extend(r.read_id for r in fmt.read_split(split))
+        assert sorted(ids) == sorted(r.read_id for r in records)
+        assert len(ids) == len(set(ids))
+
+    def test_single_block(self):
+        records = self._records(n=3)
+        fs = hdfs_with(format_fasta(records), 1 << 20)
+        fmt = FastaInputFormat(fs, "/f")
+        assert fmt.num_splits == 1
+        assert len(fmt.read_split(0)) == 3
+
+    def test_gt_inside_sequence_not_a_record_start(self):
+        # '>' can only start a record at a line start; sequences cannot
+        # contain it, but headers can.
+        text = ">r1 weird>header\nACGT\n>r2\nTTTT\n"
+        fs = hdfs_with(text, 9)
+        fmt = FastaInputFormat(fs, "/f")
+        ids = [r.read_id for r in fmt.read_all()]
+        assert ids == ["r1", "r2"]
+
+
+class TestFastqParsing:
+    FASTQ = "@r1 lib=a\nACGT\n+\nIIII\n@r2\nTTGG\n+r2\n!!!!\n"
+
+    def test_basic(self):
+        entries = read_fastq_text(self.FASTQ)
+        assert [e.record.read_id for e in entries] == ["r1", "r2"]
+        assert entries[0].qualities == (40, 40, 40, 40)
+        assert entries[1].qualities == (0, 0, 0, 0)
+
+    def test_quality_roundtrip(self):
+        scores = (0, 20, 40, 93)
+        assert decode_qualities(encode_qualities(scores)) == scores
+
+    def test_bad_scores(self):
+        with pytest.raises(FastaParseError):
+            encode_qualities([94])
+        with pytest.raises(FastaParseError):
+            decode_qualities(chr(32))  # below '!'
+
+    def test_truncated_record(self):
+        with pytest.raises(FastaParseError, match="truncated"):
+            read_fastq_text("@r1\nACGT\n+\n")
+
+    def test_bad_header(self):
+        with pytest.raises(FastaParseError, match="'@'"):
+            read_fastq_text("r1\nACGT\n+\nIIII\n")
+
+    def test_length_mismatch(self):
+        with pytest.raises(FastaParseError, match="quality"):
+            read_fastq_text("@r1\nACGT\n+\nIII\n")
+
+
+class TestQualityTrimming:
+    def make(self, seq, quals):
+        return FastqRecord(
+            record=SequenceRecord("r", seq), qualities=tuple(quals)
+        )
+
+    def test_high_quality_untouched(self):
+        entry = self.make("ACGTACGT", [40] * 8)
+        assert entry.trimmed().sequence == "ACGTACGT"
+
+    def test_leading_trailing_trim(self):
+        entry = self.make("ACGTACGT", [2, 2, 40, 40, 40, 40, 2, 2])
+        assert entry.trimmed(min_quality=20).sequence == "GTAC"
+
+    def test_all_bad_returns_none(self):
+        entry = self.make("ACGT", [2, 2, 2, 2])
+        assert entry.trimmed(min_quality=20) is None
+
+    def test_sliding_window_truncates(self):
+        quals = [40] * 10 + [21, 5, 5, 5, 5, 5]
+        entry = self.make("A" * 16, quals)
+        trimmed = entry.trimmed(min_quality=20, window=4)
+        assert len(trimmed.sequence) < 16
+
+    def test_fastq_to_fasta_pipeline(self):
+        entries = [
+            self.make("ACGTACGTACGTACGTACGTACGTACGTACGT", [40] * 32),
+            self.make("TTTT", [40] * 4),          # too short after trim
+            self.make("GGGGCCCC", [2] * 8),       # all low quality
+        ]
+        records = fastq_to_fasta(entries, min_length=10)
+        assert len(records) == 1
+        assert records[0].sequence.startswith("ACGT")
+
+    def test_mean_quality_filter(self):
+        entries = [self.make("ACGTACGTACGT", [10] * 12)]
+        assert fastq_to_fasta(entries, min_mean_quality=20, min_quality=5) == []

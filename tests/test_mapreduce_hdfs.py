@@ -1,0 +1,111 @@
+"""Tests for the simulated HDFS."""
+
+import pytest
+
+from repro.errors import HdfsError
+from repro.mapreduce.hdfs import SimulatedHDFS
+
+
+@pytest.fixture
+def hdfs():
+    return SimulatedHDFS(num_datanodes=4, block_size=16, replication=2, seed=0)
+
+
+class TestNamespace:
+    def test_put_get_roundtrip(self, hdfs):
+        hdfs.put("/a/b.txt", "hello world, this is longer than a block")
+        assert hdfs.get_text("/a/b.txt") == "hello world, this is longer than a block"
+
+    def test_exists_and_ls(self, hdfs):
+        hdfs.put("/x/1", "a")
+        hdfs.put("/x/2", "b")
+        hdfs.put("/y/3", "c")
+        assert hdfs.exists("/x/1")
+        assert not hdfs.exists("/x/9")
+        assert hdfs.ls("/x") == ["/x/1", "/x/2"]
+        assert len(hdfs.ls()) == 3
+
+    def test_rm(self, hdfs):
+        hdfs.put("/f", "data")
+        hdfs.rm("/f")
+        assert not hdfs.exists("/f")
+        assert hdfs.datanode_usage() == [0, 0, 0, 0]
+
+    def test_overwrite_requires_flag(self, hdfs):
+        hdfs.put("/f", "one")
+        with pytest.raises(HdfsError, match="already exists"):
+            hdfs.put("/f", "two")
+        hdfs.put("/f", "two", overwrite=True)
+        assert hdfs.get_text("/f") == "two"
+
+    def test_relative_path_rejected(self, hdfs):
+        with pytest.raises(HdfsError, match="absolute"):
+            hdfs.put("no-slash", "x")
+
+    def test_missing_file(self, hdfs):
+        with pytest.raises(HdfsError, match="does not exist"):
+            hdfs.get("/missing")
+
+
+class TestBlocks:
+    def test_block_count(self, hdfs):
+        meta = hdfs.put("/f", "x" * 50)  # 50 bytes / 16-byte blocks = 4 blocks
+        assert meta.num_blocks == 4
+        assert meta.size == 50
+        assert sum(b.size for b in meta.blocks) == 50
+
+    def test_replication(self, hdfs):
+        meta = hdfs.put("/f", "x" * 40)
+        for block in meta.blocks:
+            assert len(block.replicas) == 2
+            assert len(set(block.replicas)) == 2
+
+    def test_replication_capped_by_nodes(self):
+        hdfs = SimulatedHDFS(num_datanodes=2, replication=5)
+        assert hdfs.replication == 2
+
+    def test_read_block(self, hdfs):
+        hdfs.put("/f", "0123456789abcdef" + "ghij")
+        assert hdfs.read_block("/f", 0) == b"0123456789abcdef"
+        assert hdfs.read_block("/f", 1) == b"ghij"
+        with pytest.raises(HdfsError, match="out of range"):
+            hdfs.read_block("/f", 2)
+
+    def test_empty_file(self, hdfs):
+        meta = hdfs.put("/empty", "")
+        assert meta.size == 0
+        assert hdfs.get_text("/empty") == ""
+
+    def test_bytes_payload(self, hdfs):
+        hdfs.put("/bin", bytes(range(40)))
+        assert hdfs.get("/bin") == bytes(range(40))
+
+
+class TestLocality:
+    def test_locality_map_covers_blocks(self, hdfs):
+        meta = hdfs.put("/f", "x" * 64)
+        locality = hdfs.locality_map("/f")
+        placed = sorted(i for blocks in locality.values() for i in blocks)
+        # Each block appears once per replica.
+        assert placed == sorted(
+            list(range(meta.num_blocks)) * hdfs.replication
+        )
+
+    def test_usage_accounts_replication(self, hdfs):
+        hdfs.put("/f", "x" * 32)
+        assert sum(hdfs.datanode_usage()) == 32 * 2
+
+    def test_construction_validation(self):
+        with pytest.raises(HdfsError):
+            SimulatedHDFS(num_datanodes=0)
+        with pytest.raises(HdfsError):
+            SimulatedHDFS(block_size=0)
+        with pytest.raises(HdfsError):
+            SimulatedHDFS(replication=0)
+
+    def test_deterministic_placement(self):
+        a = SimulatedHDFS(4, block_size=8, replication=2, seed=5)
+        b = SimulatedHDFS(4, block_size=8, replication=2, seed=5)
+        ma = a.put("/f", "x" * 40)
+        mb = b.put("/f", "x" * 40)
+        assert [blk.replicas for blk in ma.blocks] == [blk.replicas for blk in mb.blocks]

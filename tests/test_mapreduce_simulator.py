@@ -1,0 +1,178 @@
+"""Tests for the cost model, the discrete-event simulator and the
+synthetic workload builder — including the paper's qualitative claims."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.mapreduce.costmodel import HadoopCostModel, M1_LARGE_COST_MODEL, calibrate
+from repro.mapreduce.simulator import ClusterSimulator, ClusterSpec
+from repro.mapreduce.types import JobTrace, TaskTrace
+from repro.mapreduce.workload import PipelineWorkload, build_pipeline_traces
+
+
+def simple_trace(num_maps=8, map_cpu=2.0, num_reduces=1, reduce_cpu=1.0):
+    trace = JobTrace(job_name="t")
+    for i in range(num_maps):
+        trace.map_tasks.append(
+            TaskTrace(task_id=f"m{i}", kind="map", records_in=100, cpu_seconds=map_cpu)
+        )
+    for i in range(num_reduces):
+        trace.reduce_tasks.append(
+            TaskTrace(task_id=f"r{i}", kind="reduce", records_in=100, cpu_seconds=reduce_cpu)
+        )
+    trace.shuffle_bytes = 1_000_000
+    return trace
+
+
+class TestCostModel:
+    def test_measured_cpu_preferred(self):
+        model = HadoopCostModel(task_launch_s=1.0, cpu_scale=2.0)
+        task = TaskTrace(task_id="m", kind="map", records_in=10, cpu_seconds=3.0)
+        assert model.task_duration(task) == pytest.approx(1.0 + 6.0)
+
+    def test_per_record_fallback(self):
+        model = HadoopCostModel(task_launch_s=1.0, map_cost_per_record_s=0.01)
+        task = TaskTrace(task_id="m", kind="map", records_in=100)
+        assert model.task_duration(task) == pytest.approx(1.0 + 1.0)
+
+    def test_nonlocal_penalty(self):
+        model = HadoopCostModel(task_launch_s=0.0, hdfs_read_bw=1e6, nonlocal_penalty=2.0)
+        task = TaskTrace(task_id="m", kind="map", records_in=0, bytes_in=1_000_000,
+                         cpu_seconds=0.0)
+        local = model.task_duration(task, local=True)
+        remote = model.task_duration(task, local=False)
+        assert remote == pytest.approx(local * 2.0)
+
+    def test_shuffle_scales_with_nodes(self):
+        model = HadoopCostModel()
+        trace = simple_trace()
+        assert model.shuffle_duration(trace, 4) == pytest.approx(
+            model.shuffle_duration(trace, 2) / 2
+        )
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            HadoopCostModel(job_startup_s=-1)
+        with pytest.raises(SimulationError):
+            HadoopCostModel(hdfs_read_bw=0)
+        with pytest.raises(SimulationError):
+            M1_LARGE_COST_MODEL.shuffle_duration(simple_trace(), 0)
+
+    def test_calibrate(self):
+        model = calibrate(
+            sketch_seconds=2.0, sketch_records=1000, pair_seconds=1.0, pair_count=10_000
+        )
+        assert model.map_cost_per_record_s == pytest.approx(0.002)
+        assert model.pair_cost_s == pytest.approx(1e-4)
+        with pytest.raises(SimulationError):
+            calibrate(sketch_seconds=1, sketch_records=0, pair_seconds=1, pair_count=1)
+
+
+class TestClusterSpec:
+    def test_slots(self):
+        spec = ClusterSpec(num_nodes=4, map_slots_per_node=2, reduce_slots_per_node=1)
+        assert spec.total_map_slots == 8
+        assert spec.total_reduce_slots == 4
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            ClusterSpec(num_nodes=0)
+        with pytest.raises(SimulationError):
+            ClusterSpec(num_nodes=1, map_slots_per_node=0)
+
+
+class TestSimulator:
+    def test_map_waves(self):
+        # 8 map tasks of 2s on 2 nodes x 2 slots = 2 waves.
+        model = HadoopCostModel(job_startup_s=0, task_launch_s=0, hdfs_read_bw=1e12)
+        sim = ClusterSimulator(ClusterSpec(num_nodes=2), model)
+        report = sim.simulate_job(simple_trace(num_maps=8, map_cpu=2.0))
+        assert report.map_waves == 2
+        assert report.map_phase_s == pytest.approx(4.0)
+
+    def test_more_nodes_fewer_waves(self):
+        model = HadoopCostModel(job_startup_s=0, task_launch_s=0)
+        small = ClusterSimulator(ClusterSpec(num_nodes=2), model)
+        large = ClusterSimulator(ClusterSpec(num_nodes=8), model)
+        trace = simple_trace(num_maps=16, map_cpu=1.0)
+        assert large.simulate_job(trace).map_phase_s < small.simulate_job(trace).map_phase_s
+
+    def test_startup_dominates_small_jobs(self):
+        """The Figure 2 small-input effect: node count is irrelevant."""
+        trace = simple_trace(num_maps=1, map_cpu=0.5, reduce_cpu=0.1)
+        t2 = ClusterSimulator(ClusterSpec(2)).simulate_pipeline([trace]).total_s
+        t12 = ClusterSimulator(ClusterSpec(12)).simulate_pipeline([trace]).total_s
+        assert t2 / t12 < 1.1
+
+    def test_locality_preference(self):
+        model = HadoopCostModel(
+            job_startup_s=0, task_launch_s=0, hdfs_read_bw=1e6, nonlocal_penalty=10.0
+        )
+        sim = ClusterSimulator(ClusterSpec(num_nodes=2, map_slots_per_node=1), model)
+        trace = JobTrace(job_name="t")
+        for i in range(4):
+            trace.map_tasks.append(
+                TaskTrace(task_id=f"m{i}", kind="map", records_in=1,
+                          bytes_in=1_000_000, cpu_seconds=0.01)
+            )
+        # All blocks live on both nodes: every task should be local.
+        locality = {0: [0, 1, 2, 3], 1: [0, 1, 2, 3]}
+        report = sim.simulate_job(trace, block_locality=locality)
+        assert report.locality_fraction == 1.0
+
+    def test_pipeline_sums_jobs(self):
+        traces = [simple_trace(), simple_trace()]
+        report = ClusterSimulator(ClusterSpec(4)).simulate_pipeline(traces)
+        assert len(report.jobs) == 2
+        assert report.total_s == pytest.approx(sum(j.total_s for j in report.jobs))
+        assert report.total_minutes == pytest.approx(report.total_s / 60)
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(SimulationError):
+            ClusterSimulator(ClusterSpec(2)).simulate_pipeline([])
+
+
+class TestWorkload:
+    def test_block_count(self):
+        w = PipelineWorkload(num_reads=1000, read_length=1000, block_size=64 * 1024)
+        assert w.num_blocks == -(-w.fasta_bytes // (64 * 1024))
+
+    def test_dense_pair_count(self):
+        w = PipelineWorkload(num_reads=100, sparse_similarity=False)
+        assert w.total_pairs == 100 * 99 // 2
+
+    def test_sparse_pair_count(self):
+        w = PipelineWorkload(num_reads=10_000, sparse_similarity=True, candidates_per_row=50)
+        assert w.total_pairs == 10_000 * 50
+
+    def test_band_pairs_sum_to_total_dense(self):
+        w = PipelineWorkload(num_reads=1000, row_band=137, sparse_similarity=False)
+        total = 0
+        start = 0
+        while start < w.num_reads:
+            stop = min(start + w.row_band, w.num_reads)
+            total += w.pairs_for_rows(start, stop)
+            start = stop
+        assert total == w.total_pairs
+
+    def test_traces_structure(self):
+        w = PipelineWorkload(num_reads=5000, row_band=1000)
+        traces = build_pipeline_traces(w, map_cost_per_record_s=1e-4, pair_cost_s=1e-7)
+        names = [t.job_name for t in traces]
+        assert names == ["sketch", "similarity", "cluster"]
+        sim = traces[1]
+        assert sum(t.records_in for t in sim.map_tasks) == 5000
+        assert sum(t.records_out for t in sim.map_tasks) == w.total_pairs
+
+    def test_greedy_traces(self):
+        w = PipelineWorkload(num_reads=5000, hierarchical=False)
+        traces = build_pipeline_traces(w, map_cost_per_record_s=1e-4, pair_cost_s=1e-7)
+        assert [t.job_name for t in traces] == ["sketch", "greedy-cluster"]
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            PipelineWorkload(num_reads=0)
+        with pytest.raises(SimulationError):
+            PipelineWorkload(num_reads=10, row_band=0)
+        with pytest.raises(SimulationError):
+            PipelineWorkload(num_reads=10, candidates_per_row=0)

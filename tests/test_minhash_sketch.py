@@ -1,0 +1,103 @@
+"""Tests for sketch computation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SketchError
+from repro.minhash.sketch import (
+    MinHashSketch,
+    SketchingConfig,
+    compute_sketch,
+    compute_sketches,
+    sketch_matrix,
+)
+from repro.seq.records import SequenceRecord
+
+
+class TestSketchingConfig:
+    def test_family_dimensions(self):
+        config = SketchingConfig(kmer_size=5, num_hashes=64, seed=2)
+        fam = config.make_family()
+        assert fam.num_hashes == 64
+        assert fam.universe_size == 4**5
+
+    def test_invalid(self):
+        with pytest.raises(SketchError):
+            SketchingConfig(kmer_size=5, num_hashes=0)
+        with pytest.raises(Exception):
+            SketchingConfig(kmer_size=0, num_hashes=10)
+
+
+class TestMinHashSketch:
+    def test_value_set(self):
+        s = MinHashSketch("r", np.array([1, 1, 2, 3]))
+        assert s.value_set == frozenset({1, 2, 3})
+
+    def test_len(self):
+        assert len(MinHashSketch("r", np.array([1, 2, 3]))) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(SketchError):
+            MinHashSketch("r", np.array([]))
+
+    def test_compatibility(self):
+        a = MinHashSketch("a", np.array([1]), family_key=(1, 2, 3))
+        b = MinHashSketch("b", np.array([2]), family_key=(1, 2, 3))
+        c = MinHashSketch("c", np.array([3]), family_key=(9, 9, 9))
+        assert a.compatible_with(b)
+        assert not a.compatible_with(c)
+
+
+class TestComputeSketch:
+    def test_identical_sequences_identical_sketches(self, small_config):
+        r1 = SequenceRecord("x", "ACGTACGTACGT")
+        r2 = SequenceRecord("y", "ACGTACGTACGT")
+        fam = small_config.make_family()
+        s1 = compute_sketch(r1, small_config, fam)
+        s2 = compute_sketch(r2, small_config, fam)
+        assert np.array_equal(s1.values, s2.values)
+
+    def test_deterministic_across_family_instances(self, small_config):
+        rec = SequenceRecord("x", "ACGTACGTACGT")
+        s1 = compute_sketch(rec, small_config)
+        s2 = compute_sketch(rec, small_config)
+        assert np.array_equal(s1.values, s2.values)
+
+    def test_too_short_rejected(self, small_config):
+        with pytest.raises(SketchError):
+            compute_sketch(SequenceRecord("x", "ACG"), small_config)
+
+    def test_sketch_length(self, small_config):
+        s = compute_sketch(SequenceRecord("x", "ACGTACGTACGT"), small_config)
+        assert len(s) == small_config.num_hashes
+
+
+class TestComputeSketches:
+    def test_skips_short_reads(self, small_config):
+        records = [
+            SequenceRecord("ok", "ACGTACGTACGT"),
+            SequenceRecord("short", "ACG"),
+        ]
+        sketches = compute_sketches(records, small_config)
+        assert [s.read_id for s in sketches] == ["ok"]
+
+    def test_order_preserved(self, two_family_records, small_config):
+        sketches = compute_sketches(two_family_records, small_config)
+        assert [s.read_id for s in sketches] == [r.read_id for r in two_family_records]
+
+
+class TestSketchMatrix:
+    def test_shape(self, two_family_sketches, small_config):
+        m = sketch_matrix(two_family_sketches)
+        assert m.shape == (len(two_family_sketches), small_config.num_hashes)
+
+    def test_empty(self):
+        assert sketch_matrix([]).shape == (0, 0)
+
+    def test_mixed_families_rejected(self, small_config):
+        rec = SequenceRecord("x", "ACGTACGTACGT")
+        s1 = compute_sketch(rec, small_config)
+        other = SketchingConfig(kmer_size=5, num_hashes=32, seed=99)
+        s2 = compute_sketch(rec, other)
+        with pytest.raises(SketchError, match="different hash family"):
+            sketch_matrix([s1, s2])

@@ -1,0 +1,150 @@
+"""Tests for the universal hash family and prime utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SketchError
+from repro.minhash.universal import (
+    MAX_UNIVERSE,
+    UniversalHashFamily,
+    is_prime,
+    next_prime,
+)
+
+
+class TestPrimes:
+    def test_small_primes(self):
+        primes = [n for n in range(2, 60) if is_prime(n)]
+        assert primes == [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59]
+
+    def test_non_primes(self):
+        for n in (0, 1, 4, 100, 1023, 1025):
+            assert not is_prime(n)
+
+    def test_large_prime(self):
+        assert is_prime(2**31 - 1)  # Mersenne prime
+        assert not is_prime(2**32 + 1)  # 641 * 6700417
+
+    def test_next_prime(self):
+        assert next_prime(1024) == 1031
+        assert next_prime(1) == 2
+        assert next_prime(2) == 3
+
+    def test_next_prime_strictly_greater(self):
+        assert next_prime(7) == 11
+
+    @given(st.integers(min_value=1, max_value=100_000))
+    @settings(max_examples=40, deadline=None)
+    def test_next_prime_property(self, n):
+        p = next_prime(n)
+        assert p > n
+        assert is_prime(p)
+        # No prime strictly between n and p (check a window).
+        for q in range(n + 1, p):
+            assert not is_prime(q)
+
+
+class TestFamilyConstruction:
+    def test_defaults(self):
+        fam = UniversalHashFamily(num_hashes=10, universe_size=1024, seed=0)
+        assert fam.prime == 1031
+        assert fam.a.shape == (10,)
+        assert np.all(fam.a >= 1) and np.all(fam.a < fam.prime)
+        assert np.all(fam.b >= 0) and np.all(fam.b < fam.prime)
+
+    def test_deterministic(self):
+        f1 = UniversalHashFamily(5, 1024, seed=3)
+        f2 = UniversalHashFamily(5, 1024, seed=3)
+        assert np.array_equal(f1.a, f2.a)
+        assert np.array_equal(f1.b, f2.b)
+
+    def test_seed_sensitivity(self):
+        f1 = UniversalHashFamily(5, 1024, seed=1)
+        f2 = UniversalHashFamily(5, 1024, seed=2)
+        assert not np.array_equal(f1.a, f2.a)
+
+    def test_explicit_prime_validated(self):
+        with pytest.raises(SketchError, match="not prime"):
+            UniversalHashFamily(5, 1024, prime=1033 + 1)
+        with pytest.raises(SketchError, match="must exceed"):
+            UniversalHashFamily(5, 1024, prime=1021)
+
+    def test_bad_params(self):
+        with pytest.raises(SketchError):
+            UniversalHashFamily(0, 1024)
+        with pytest.raises(SketchError):
+            UniversalHashFamily(5, 1)
+        with pytest.raises(SketchError):
+            UniversalHashFamily(5, MAX_UNIVERSE * 4)
+
+
+class TestHashing:
+    def test_range(self):
+        fam = UniversalHashFamily(20, 4**5, seed=0)
+        items = np.arange(0, 4**5, 7, dtype=np.int64)
+        values = fam.hash_values(items)
+        assert values.shape == (20, items.size)
+        assert values.min() >= 0
+        assert values.max() < 4**5
+
+    def test_rejects_out_of_universe(self):
+        fam = UniversalHashFamily(5, 1024)
+        with pytest.raises(SketchError, match="must lie in"):
+            fam.hash_values(np.array([1024]))
+        with pytest.raises(SketchError):
+            fam.hash_values(np.array([-1]))
+
+    def test_rejects_2d(self):
+        fam = UniversalHashFamily(5, 1024)
+        with pytest.raises(SketchError, match="1-D"):
+            fam.hash_values(np.zeros((2, 2), dtype=np.int64))
+
+    def test_min_hash_is_min(self):
+        fam = UniversalHashFamily(8, 1024, seed=1)
+        items = np.array([5, 99, 710], dtype=np.int64)
+        assert np.array_equal(fam.min_hash(items), fam.hash_values(items).min(axis=1))
+
+    def test_min_hash_empty_rejected(self):
+        fam = UniversalHashFamily(8, 1024)
+        with pytest.raises(SketchError, match="empty"):
+            fam.min_hash(np.array([], dtype=np.int64))
+
+    def test_no_int64_overflow_at_max_universe(self):
+        fam = UniversalHashFamily(4, MAX_UNIVERSE, seed=0)
+        items = np.array([MAX_UNIVERSE - 1, 0, 12345], dtype=np.int64)
+        values = fam.hash_values(items)
+        assert values.min() >= 0  # overflow would wrap negative
+
+    def test_uniformity_rough(self):
+        """Each hash function should spread values across the universe."""
+        fam = UniversalHashFamily(1, 4**5, seed=5)
+        items = np.arange(1024, dtype=np.int64)
+        values = fam.hash_values(items)[0]
+        assert values.std() > 100  # far from constant
+
+    def test_collision_probability_identity(self):
+        fam = UniversalHashFamily(5, 1024)
+        assert fam.collision_probability(0.37) == 0.37
+        with pytest.raises(SketchError):
+            fam.collision_probability(1.5)
+
+
+class TestMinwiseProperty:
+    def test_estimator_tracks_jaccard(self):
+        """Equation 3: matching-minima fraction approximates Jaccard."""
+        rng = np.random.default_rng(0)
+        universe = 4**6
+        a = np.unique(rng.integers(0, universe, size=300))
+        # b shares roughly half of a.
+        keep = a[: len(a) // 2]
+        extra = np.unique(rng.integers(0, universe, size=150))
+        b = np.unique(np.concatenate([keep, extra]))
+        inter = np.intersect1d(a, b).size
+        union = np.union1d(a, b).size
+        true_j = inter / union
+
+        fam = UniversalHashFamily(400, universe, seed=7)
+        est = float(np.mean(fam.min_hash(a) == fam.min_hash(b)))
+        assert abs(est - true_j) < 0.08

@@ -1,0 +1,185 @@
+"""Tests for Pig JOIN, sequence statistics, results serialization, the
+shared-region environmental pool, and the public API surface."""
+
+import pytest
+
+from repro.errors import EvaluationError, PigParseError, SequenceError
+from repro.bench.harness import MethodResult
+from repro.bench.report_io import (
+    load_results,
+    results_from_json,
+    results_to_json,
+    results_to_markdown,
+    save_results,
+)
+from repro.datasets import generate_environmental_sample
+from repro.mapreduce.hdfs import SimulatedHDFS
+from repro.pig import PigEngine, parse_script
+from repro.seq.records import SequenceRecord
+from repro.seq.stats import length_histogram, n50, sequence_set_stats
+
+
+class TestPigJoin:
+    FASTA_A = ">r1\nACGT\n>r2\nTTTT\n"
+    LABELS = "/labels"
+
+    def _engine(self):
+        hdfs = SimulatedHDFS(2, block_size=4096)
+        hdfs.put("/a.fa", self.FASTA_A)
+        hdfs.put("/b.fa", ">r1\nACGTACGT\n>r3\nGGGG\n")
+        return PigEngine(hdfs)
+
+    def test_parse(self):
+        stmt = parse_script("J = JOIN A BY id, B BY key;")[0]
+        assert stmt.kind == "join"
+        assert (stmt.source, stmt.join_left) == ("A", "id")
+        assert (stmt.join_source, stmt.join_right) == ("B", "key")
+
+    def test_equijoin(self):
+        engine = self._engine()
+        res = engine.run(
+            "A = LOAD '/a.fa' USING FastaStorage AS (readid, d, seq, header);\n"
+            "B = LOAD '/b.fa' USING FastaStorage AS (readid, d, seq, header);\n"
+            "J = JOIN A BY readid, B BY readid;"
+        )
+        rel = res.relations["J"]
+        # Only r1 appears on both sides.
+        assert len(rel) == 1
+        assert rel.rows[0][0] == "r1"
+        assert rel.fields[0] == "A::readid"
+        assert rel.fields[4] == "B::readid"
+
+    def test_join_cross_product_on_duplicate_keys(self):
+        hdfs = SimulatedHDFS(2, block_size=4096)
+        hdfs.put("/a.fa", ">k\nAAAA\n>k2\nCCCC\n")
+        hdfs.put("/b.fa", ">k\nGGGG\n>k3\nTTTT\n")
+        engine = PigEngine(hdfs)
+        res = engine.run(
+            "A = LOAD '/a.fa' USING FastaStorage AS (readid, d, seq, header);\n"
+            "B = LOAD '/b.fa' USING FastaStorage AS (readid, d, seq, header);\n"
+            "J = JOIN A BY d, B BY d;"  # all lengths 4 -> 2x2 product
+        )
+        assert len(res.relations["J"]) == 4
+
+    def test_join_records_trace(self):
+        engine = self._engine()
+        res = engine.run(
+            "A = LOAD '/a.fa' USING FastaStorage AS (readid, d, seq, header);\n"
+            "B = LOAD '/b.fa' USING FastaStorage AS (readid, d, seq, header);\n"
+            "J = JOIN A BY readid, B BY readid;"
+        )
+        assert any(t.job_name == "pig-join-J" for t in res.traces)
+
+
+class TestSequenceStats:
+    def test_n50_known(self):
+        # total 100; sorted desc 40,30,20,10 -> cumulative 40,70 >= 50.
+        assert n50([10, 20, 30, 40]) == 30
+
+    def test_n50_single(self):
+        assert n50([7]) == 7
+
+    def test_n50_empty(self):
+        with pytest.raises(SequenceError):
+            n50([])
+
+    def test_stats(self):
+        records = [
+            SequenceRecord("a", "ACGT"),          # GC 0.5
+            SequenceRecord("b", "GGGGCCCC"),      # GC 1.0
+        ]
+        stats = sequence_set_stats(records)
+        assert stats.count == 2
+        assert stats.total_bases == 12
+        assert stats.min_length == 4
+        assert stats.max_length == 8
+        assert stats.n50 == 8
+        assert 0.7 < stats.gc_mean < 0.8
+        assert "2 sequences" in stats.describe()
+
+    def test_histogram(self):
+        records = [SequenceRecord(f"r{i}", "A" * (10 + i)) for i in range(20)]
+        bins = length_histogram(records, num_bins=5)
+        assert sum(c for _s, _e, c in bins) == 20
+        with pytest.raises(SequenceError):
+            length_histogram(records, num_bins=0)
+        with pytest.raises(SequenceError):
+            length_histogram([])
+
+
+class TestReportIo:
+    RESULTS = [
+        MethodResult("m1", "S1", 5, 90.0, 55.5, 1.25, 60.0, 8),
+        MethodResult("m2", "S1", 7, None, None, 0.5, None, 7),
+    ]
+
+    def test_json_roundtrip(self):
+        back = results_from_json(results_to_json(self.RESULTS))
+        assert back == self.RESULTS
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "res.json"
+        save_results(self.RESULTS, path)
+        assert load_results(path) == self.RESULTS
+
+    def test_invalid_json(self):
+        with pytest.raises(EvaluationError):
+            results_from_json("not json")
+        with pytest.raises(EvaluationError):
+            results_from_json('{"not": "a list"}')
+        with pytest.raises(EvaluationError):
+            results_from_json('[{"bogus": 1}]')
+
+    def test_markdown(self):
+        md = results_to_markdown(self.RESULTS)
+        lines = md.splitlines()
+        assert lines[0].startswith("| Sample")
+        assert "| S1 | m1 | 5 | 90.00 | 55.50 | 1.25 | 60.00 |" in md
+        assert "| S1 | m2 | 7 | - | - | 0.50 | - |" in md
+        with pytest.raises(EvaluationError):
+            results_to_markdown([])
+
+
+class TestRegionalPools:
+    def test_shared_region_shares_otus(self):
+        a = generate_environmental_sample("53R", num_reads=150, seed=0, region="lab")
+        b = generate_environmental_sample("137", num_reads=150, seed=0, region="lab")
+        otus_a = {r.label for r in a}
+        otus_b = {r.label for r in b}
+        assert otus_a & otus_b  # overlapping organisms
+
+    def test_distinct_regions_disjoint(self):
+        a = generate_environmental_sample("53R", num_reads=100, seed=0, region="lab")
+        c = generate_environmental_sample("FS312", num_reads=100, seed=0, region="vent")
+        assert not ({r.label for r in a} & {r.label for r in c})
+
+    def test_default_pools_per_sample(self):
+        a = generate_environmental_sample("53R", num_reads=80, seed=0)
+        b = generate_environmental_sample("137", num_reads=80, seed=0)
+        assert not ({r.label for r in a} & {r.label for r in b})
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        import repro
+        import repro.align
+        import repro.baselines
+        import repro.cluster
+        import repro.datasets
+        import repro.eval
+        import repro.mapreduce
+        import repro.minhash
+        import repro.pig
+        import repro.seq
+
+        for module in (
+            repro, repro.align, repro.baselines, repro.cluster, repro.datasets,
+            repro.eval, repro.mapreduce, repro.minhash, repro.pig, repro.seq,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"

@@ -1,0 +1,102 @@
+"""Table-driven verification that the dataset specs transcribe the
+paper's published constants exactly."""
+
+import pytest
+
+from repro.datasets.environmental import SOGIN_SAMPLES
+from repro.datasets.whole_metagenome import WHOLE_METAGENOME_SPECS
+
+# Table I verbatim: (SID, depth m, temperature C, reads).
+TABLE_I = [
+    ("53R", 1400, 3.5, 11218),
+    ("55R", 500, 7.1, 8680),
+    ("112R", 4121, 2.3, 11132),
+    ("115R", 550, 7.0, 13441),
+    ("137", 1710, 3.0, 12259),
+    ("138", 710, 3.5, 11554),
+    ("FS312", 1529, 31.2, 52569),
+    ("FS396", 1537, 24.4, 73657),
+]
+
+# Table II verbatim: (SID, #species, ratio string, reads, clusters).
+TABLE_II = [
+    ("S1", 2, "1:1", 49998, 2),
+    ("S2", 2, "1:1", 49998, 2),
+    ("S3", 2, "1:1", 49998, 2),
+    ("S4", 2, "1:1", 49998, 2),
+    ("S5", 2, "1:2", 49998, 2),
+    ("S6", 2, "1:1", 49998, 2),
+    ("S7", 2, "1:1", 49998, 2),
+    ("S8", 2, "1:1", 49998, 2),
+    ("S9", 3, "1:1:8", 49996, 3),
+    ("S10", 3, "1:1:8", 49996, 3),
+    ("S11", 4, "1:1:4:4", 99998, 4),
+    ("S12", 6, "1:1:1:1:2:14", 99994, 6),
+    ("S13", 2, "1:1", 4000, 2),
+    ("S14", 3, "1:1:1", 6000, 3),
+    ("R1", 3, None, 7137, None),
+]
+
+# Table II GC contents for selected organisms (the brackets).
+TABLE_II_GC = {
+    ("S1", "Bacillus halodurans"): 0.44,
+    ("S1", "Bacillus subtilis"): 0.44,
+    ("S2", "Gluconobacter oxydans"): 0.61,
+    ("S2", "Granulobacter bethesdensis"): 0.59,
+    ("S3", "Escherichia coli"): 0.51,
+    ("S3", "Yersinia pestis"): 0.48,
+    ("S5", "Bacillus anthracis"): 0.35,
+    ("S5", "Listeria monocytogenes"): 0.38,
+    ("S8", "Rhodospirillum rubrum"): 0.65,
+    ("S10", "Pseudomonas putida"): 0.62,
+    ("S12", "Thermofilum pendens"): 0.58,
+    ("S12", "Bacillus subtilis"): 0.44,
+}
+
+
+class TestTableI:
+    @pytest.mark.parametrize("sid,depth,temp,reads", TABLE_I)
+    def test_row(self, sid, depth, temp, reads):
+        spec = next(s for s in SOGIN_SAMPLES if s.sid == sid)
+        assert spec.depth_m == depth
+        assert spec.temperature_c == temp
+        assert spec.num_reads == reads
+
+    def test_total_reads(self):
+        assert sum(s.num_reads for s in SOGIN_SAMPLES) == 194510
+
+
+class TestTableII:
+    @pytest.mark.parametrize("sid,n_species,ratio,reads,clusters", TABLE_II)
+    def test_row(self, sid, n_species, ratio, reads, clusters):
+        spec = next(s for s in WHOLE_METAGENOME_SPECS if s.sid == sid)
+        assert len(spec.species) == n_species
+        assert spec.num_reads == reads
+        if ratio is not None:
+            assert ":".join(str(int(sp.ratio)) for sp in spec.species) == ratio
+        if clusters is not None:
+            assert spec.num_clusters == clusters
+
+    @pytest.mark.parametrize("key,gc", sorted(TABLE_II_GC.items()), ids=str)
+    def test_gc_contents(self, key, gc):
+        sid, organism = key
+        spec = next(s for s in WHOLE_METAGENOME_SPECS if s.sid == sid)
+        sp = next(s for s in spec.species if s.name == organism)
+        assert sp.gc == gc
+
+    def test_r1_has_no_truth(self):
+        r1 = next(s for s in WHOLE_METAGENOME_SPECS if s.sid == "R1")
+        assert not r1.has_truth
+        assert r1.num_clusters is None
+
+    def test_taxonomic_difficulty_monotone(self):
+        """Branch divergences must order species < genus < family < order
+        across the two-species samples, matching the Taxonomic Difference
+        column."""
+        def pair_divergence(sid):
+            spec = next(s for s in WHOLE_METAGENOME_SPECS if s.sid == sid)
+            return sum(sp.branch for sp in spec.species)
+
+        assert pair_divergence("S1") < pair_divergence("S2")   # species < genus
+        assert pair_divergence("S2") < pair_divergence("S5")   # genus < family
+        assert pair_divergence("S5") < pair_divergence("S8")   # family < order

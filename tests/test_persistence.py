@@ -1,0 +1,98 @@
+"""Tests for sketch and assignment persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ClusteringError, SketchError
+from repro.cluster.assignments import ClusterAssignment
+from repro.minhash.sketch import MinHashSketch, SketchingConfig, compute_sketches
+from repro.minhash.similarity import positional_similarity
+from repro.minhash.store import load_sketches, save_sketches
+from repro.seq.records import SequenceRecord
+
+
+@pytest.fixture
+def sketches():
+    records = [
+        SequenceRecord("a", "ACGTACGTACGTACGT"),
+        SequenceRecord("b", "TTGGCCAATTGGCCAA"),
+        SequenceRecord("c", "ACGTACGTACGTACGT"),
+    ]
+    return compute_sketches(records, SketchingConfig(kmer_size=4, num_hashes=16, seed=3))
+
+
+class TestSketchStore:
+    def test_roundtrip(self, sketches, tmp_path):
+        path = tmp_path / "sk.npz"
+        save_sketches(sketches, path)
+        back = load_sketches(path)
+        assert [s.read_id for s in back] == [s.read_id for s in sketches]
+        for original, loaded in zip(sketches, back):
+            assert np.array_equal(original.values, loaded.values)
+            assert original.family_key == loaded.family_key
+
+    def test_loaded_sketches_comparable(self, sketches, tmp_path):
+        path = tmp_path / "sk.npz"
+        save_sketches(sketches, path)
+        back = load_sketches(path)
+        # Cross-compare original with loaded: same family, same values.
+        assert positional_similarity(sketches[0], back[2]) == 1.0
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(SketchError):
+            save_sketches([], tmp_path / "x.npz")
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        path.write_bytes(b"not a numpy archive")
+        with pytest.raises(SketchError, match="cannot load"):
+            load_sketches(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SketchError):
+            load_sketches(tmp_path / "missing.npz")
+
+    def test_mixed_families_rejected_on_save(self, sketches, tmp_path):
+        other = MinHashSketch("z", np.arange(16), family_key=(9, 9, 9))
+        with pytest.raises(SketchError):
+            save_sketches(list(sketches) + [other], tmp_path / "x.npz")
+
+
+class TestAssignmentTsv:
+    def test_roundtrip(self):
+        a = ClusterAssignment({"r2": 1, "r1": 0, "r3": 0})
+        back = ClusterAssignment.from_tsv(a.to_tsv())
+        assert dict(back) == dict(a)
+
+    def test_sorted_output(self):
+        a = ClusterAssignment({"b": 1, "a": 0})
+        assert a.to_tsv() == "a\t0\nb\t1\n"
+
+    def test_blank_lines_skipped(self):
+        back = ClusterAssignment.from_tsv("a\t0\n\nb\t1\n")
+        assert back.num_sequences == 2
+
+    def test_bad_format(self):
+        with pytest.raises(ClusteringError, match="TAB"):
+            ClusterAssignment.from_tsv("a 0\n")
+        with pytest.raises(ClusteringError, match="not an integer"):
+            ClusterAssignment.from_tsv("a\tx\n")
+        with pytest.raises(ClusteringError, match="duplicate"):
+            ClusterAssignment.from_tsv("a\t0\na\t1\n")
+
+    def test_matches_pipeline_hdfs_format(self):
+        """The TSV matches what MrMCMinH.fit_hdfs writes."""
+        from repro.mapreduce.hdfs import SimulatedHDFS
+        from repro.cluster.pipeline import MrMCMinH
+
+        records = [
+            SequenceRecord("x1", "ACGTACGTACGTACGT"),
+            SequenceRecord("x2", "ACGTACGTACGTACGT"),
+        ]
+        hdfs = SimulatedHDFS(2, block_size=256)
+        MrMCMinH.stage_records(hdfs, "/in.fa", records)
+        run = MrMCMinH(kmer_size=4, num_hashes=16, threshold=0.5).fit_hdfs(
+            hdfs, "/in.fa", "/out.tsv"
+        )
+        parsed = ClusterAssignment.from_tsv(hdfs.get_text("/out.tsv"))
+        assert dict(parsed) == dict(run.assignment)

@@ -1,0 +1,205 @@
+"""Tests for Pig relations, UDFs, and the engine end-to-end — including
+equivalence between the Algorithm 3 script and the direct pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PigError
+from repro.cluster.pipeline import MrMCMinH
+from repro.datasets import generate_whole_metagenome_sample
+from repro.mapreduce.hdfs import SimulatedHDFS
+from repro.pig import (
+    MRMC_MINH_SCRIPT,
+    PigEngine,
+    Relation,
+    default_params,
+    get_udf,
+    register_udf,
+)
+from repro.pig.udf import UDF_REGISTRY
+from repro.seq.fasta import format_fasta
+from repro.seq.records import SequenceRecord
+
+
+@pytest.fixture
+def hdfs():
+    return SimulatedHDFS(3, block_size=4096)
+
+
+@pytest.fixture
+def sample_records():
+    return generate_whole_metagenome_sample("S1", num_reads=30, genome_length=3000)
+
+
+class TestRelation:
+    def test_field_access(self):
+        rel = Relation("A", ("x", "y"), [(1, 2), (3, 4)])
+        assert rel.field_index("y") == 1
+        assert rel.column("x") == [1, 3]
+        assert len(rel) == 2
+
+    def test_unknown_field(self):
+        rel = Relation("A", ("x",), [])
+        with pytest.raises(PigError, match="no field"):
+            rel.field_index("z")
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(PigError):
+            Relation("A", ("x", "x"), [])
+
+    def test_arity_validation(self):
+        rel = Relation("A", ("x", "y"), [(1,)])
+        with pytest.raises(PigError, match="arity"):
+            rel.validate_rows()
+
+
+class TestUdfRegistry:
+    def test_paper_udfs_registered(self):
+        for name in (
+            "FastaStorage",
+            "StringGenerator",
+            "TranslateToKmer",
+            "CalculateMinwiseHash",
+            "CalculatePairwiseSimilarity",
+            "AgglomerativeHierarchicalClustering",
+            "GreedyClustering",
+        ):
+            assert name in UDF_REGISTRY
+
+    def test_unknown_udf(self):
+        with pytest.raises(PigError, match="unknown UDF"):
+            get_udf("Nonexistent")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(PigError, match="already registered"):
+            register_udf("FastaStorage")(lambda: None)
+
+    def test_modes(self):
+        assert get_udf("FastaStorage").mode == "loader"
+        assert get_udf("StringGenerator").mode == "row"
+        assert get_udf("CalculateMinwiseHash").mode == "grouped"
+        assert get_udf("CalculateMinwiseHash").group_key == 1
+        assert get_udf("GreedyClustering").group_key is None
+
+
+class TestEngineStatements:
+    def test_load(self, hdfs):
+        hdfs.put("/in.fa", ">r1\nACGT\n>r2\nTTTT\n")
+        engine = PigEngine(hdfs)
+        res = engine.run("A = LOAD '/in.fa' USING FastaStorage AS (readid, d, seq, header);")
+        rel = res.relations["A"]
+        assert rel.rows == [("r1", 4, "ACGT", "r1"), ("r2", 4, "TTTT", "r2")]
+
+    def test_foreach_row_udf(self, hdfs):
+        hdfs.put("/in.fa", ">r1\nACGTN\n")
+        engine = PigEngine(hdfs)
+        res = engine.run(
+            "A = LOAD '/in.fa' USING FastaStorage AS (readid, d, seq, header);\n"
+            "B = FOREACH A GENERATE FLATTEN (StringGenerator(seq, readid)) AS (seq, seqid);"
+        )
+        assert res.relations["B"].rows == [("ACGT", "r1")]
+
+    def test_foreach_projection(self, hdfs):
+        hdfs.put("/in.fa", ">r1\nACGT\n")
+        engine = PigEngine(hdfs)
+        res = engine.run(
+            "A = LOAD '/in.fa' USING FastaStorage AS (readid, d, seq, header);\n"
+            "B = FOREACH A GENERATE seq, readid;"
+        )
+        assert res.relations["B"].rows == [("ACGT", "r1")]
+        assert res.relations["B"].fields == ("seq", "readid")
+
+    def test_group_all(self, hdfs):
+        hdfs.put("/in.fa", ">r1\nACGT\n>r2\nGGGG\n")
+        engine = PigEngine(hdfs)
+        res = engine.run(
+            "A = LOAD '/in.fa' USING FastaStorage AS (readid, d, seq, header);\n"
+            "I = GROUP A ALL;"
+        )
+        rel = res.relations["I"]
+        assert len(rel) == 1
+        key, bag = rel.rows[0]
+        assert key == "all"
+        assert len(bag) == 2
+
+    def test_group_by(self, hdfs):
+        hdfs.put("/in.fa", ">r1\nACGT\n>r2\nACGT\n")
+        engine = PigEngine(hdfs)
+        res = engine.run(
+            "A = LOAD '/in.fa' USING FastaStorage AS (readid, d, seq, header);\n"
+            "G = GROUP A BY seq;"
+        )
+        rel = res.relations["G"]
+        assert len(rel) == 1  # both rows share seq ACGT
+        assert len(rel.rows[0][1]) == 2
+
+    def test_store(self, hdfs):
+        hdfs.put("/in.fa", ">r1\nACGT\n")
+        engine = PigEngine(hdfs)
+        engine.run(
+            "A = LOAD '/in.fa' USING FastaStorage AS (readid, d, seq, header);\n"
+            "STORE A INTO '/out';"
+        )
+        assert hdfs.get_text("/out") == "r1\t4\tACGT\tr1\n"
+
+    def test_unknown_relation(self, hdfs):
+        engine = PigEngine(hdfs)
+        with pytest.raises(PigError, match="unknown relation"):
+            engine.run("STORE Z INTO '/out';")
+
+    def test_kmer_udf_counts(self, hdfs):
+        hdfs.put("/in.fa", ">r1\nACGTAC\n")
+        engine = PigEngine(hdfs)
+        res = engine.run(
+            "A = LOAD '/in.fa' USING FastaStorage AS (readid, d, seq, header);\n"
+            "B = FOREACH A GENERATE FLATTEN (StringGenerator(seq, readid)) AS (seq, seqid);\n"
+            "C = FOREACH B GENERATE FLATTEN (TranslateToKmer(seq, seqid, 3)) AS (seqkmer, seqid2);"
+        )
+        assert len(res.relations["C"]) == 4  # 6 - 3 + 1
+
+
+class TestAlgorithm3EndToEnd:
+    def test_script_matches_direct_pipeline(self, hdfs, sample_records):
+        """Running Algorithm 3 must reproduce MrMCMinH.fit exactly
+        (hierarchical partition and greedy partition)."""
+        hdfs.put("/in.fa", format_fasta(sample_records))
+        params = default_params(input_path="/in.fa", kmer=5, num_hashes=40, cutoff=0.78)
+        engine = PigEngine(hdfs)
+        res = engine.run(MRMC_MINH_SCRIPT, params)
+
+        script_hier = {rid: lbl for rid, lbl in res.relations["K"].rows}
+        script_greedy = {rid: lbl for rid, lbl in res.relations["L"].rows}
+
+        direct_hier = MrMCMinH(
+            kmer_size=5, num_hashes=40, threshold=0.78, method="hierarchical", seed=0
+        ).fit(sample_records).assignment
+        direct_greedy = MrMCMinH(
+            kmer_size=5, num_hashes=40, threshold=0.78, method="greedy",
+            estimator="set", seed=0,
+        ).fit(sample_records).assignment
+
+        def partition(labels):
+            groups = {}
+            for rid, lbl in labels.items():
+                groups.setdefault(lbl, set()).add(rid)
+            return {frozenset(g) for g in groups.values()}
+
+        assert partition(script_hier) == partition(dict(direct_hier))
+        assert partition(script_greedy) == partition(dict(direct_greedy))
+
+    def test_outputs_stored(self, hdfs, sample_records):
+        hdfs.put("/in.fa", format_fasta(sample_records))
+        params = default_params(input_path="/in.fa", kmer=5, num_hashes=40, cutoff=0.78)
+        res = PigEngine(hdfs).run(MRMC_MINH_SCRIPT, params)
+        assert set(res.stored) == {"/out/hier", "/out/greedy"}
+        hier_lines = hdfs.get_text("/out/hier").strip().splitlines()
+        assert len(hier_lines) == len(sample_records)
+
+    def test_traces_cover_foreach_jobs(self, hdfs, sample_records):
+        hdfs.put("/in.fa", format_fasta(sample_records))
+        params = default_params(input_path="/in.fa", kmer=5, num_hashes=40, cutoff=0.78)
+        res = PigEngine(hdfs).run(MRMC_MINH_SCRIPT, params)
+        names = [t.job_name for t in res.traces]
+        assert "pig-foreach-B" in names
+        assert "pig-foreach-E" in names  # the grouped minwise job
+        assert "pig-foreach-J" in names  # the pairwise similarity job

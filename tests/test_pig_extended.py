@@ -1,0 +1,165 @@
+"""Tests for the extended Pig dialect (FILTER / DISTINCT / LIMIT /
+ORDER BY / UNION) and the LSH index."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PigError, PigParseError, SketchError
+from repro.mapreduce.hdfs import SimulatedHDFS
+from repro.minhash.lsh import LshIndex, all_candidate_pairs
+from repro.minhash.sketch import MinHashSketch, SketchingConfig, compute_sketches
+from repro.pig import PigEngine, parse_script
+from repro.seq.records import SequenceRecord
+
+FASTA = ">r1\nACGTACGT\n>r2\nTTTT\n>r3\nACGTACGT\n>r4\nGGGGGGGGGGGG\n"
+
+
+@pytest.fixture
+def engine():
+    hdfs = SimulatedHDFS(3, block_size=4096)
+    hdfs.put("/in.fa", FASTA)
+    return PigEngine(hdfs)
+
+
+LOAD = "A = LOAD '/in.fa' USING FastaStorage AS (readid, d, seq, header);\n"
+
+
+class TestFilter:
+    def test_numeric_comparison(self, engine):
+        res = engine.run(LOAD + "B = FILTER A BY d > 8;")
+        assert [r[0] for r in res.relations["B"].rows] == ["r4"]
+
+    def test_equality_on_string(self, engine):
+        res = engine.run(LOAD + "B = FILTER A BY readid == 'r2';")
+        assert len(res.relations["B"]) == 1
+
+    def test_all_operators(self, engine):
+        # d values: r1=8, r2=4, r3=8, r4=12
+        for op, expected in (("==", 2), ("!=", 2), (">=", 3), ("<", 1), ("<=", 3), (">", 1)):
+            res = engine.run(LOAD + f"B = FILTER A BY d {op} 8;")
+            assert len(res.relations["B"]) == expected, op
+
+    def test_schema_preserved(self, engine):
+        res = engine.run(LOAD + "B = FILTER A BY d > 0;")
+        assert res.relations["B"].fields == ("readid", "d", "seq", "header")
+
+    def test_non_literal_rhs_rejected(self):
+        with pytest.raises(PigParseError, match="literal"):
+            parse_script("B = FILTER A BY x == y;")
+
+
+class TestDistinctLimitOrder:
+    def test_distinct(self, engine):
+        res = engine.run(
+            LOAD
+            + "S = FOREACH A GENERATE seq;\n"
+            + "D = DISTINCT S;"
+        )
+        assert len(res.relations["D"]) == 3  # r1/r3 collapse
+
+    def test_limit(self, engine):
+        res = engine.run(LOAD + "B = LIMIT A 2;")
+        assert [r[0] for r in res.relations["B"].rows] == ["r1", "r2"]
+
+    def test_limit_beyond_size(self, engine):
+        res = engine.run(LOAD + "B = LIMIT A 99;")
+        assert len(res.relations["B"]) == 4
+
+    def test_order_asc_desc(self, engine):
+        res = engine.run(LOAD + "B = ORDER A BY d;")
+        assert [r[1] for r in res.relations["B"].rows] == [4, 8, 8, 12]
+        res = engine.run(LOAD + "B = ORDER A BY d DESC;")
+        assert [r[1] for r in res.relations["B"].rows] == [12, 8, 8, 4]
+
+
+class TestUnion:
+    def test_union_concatenates(self, engine):
+        res = engine.run(
+            LOAD
+            + "B = FILTER A BY d > 8;\n"
+            + "C = FILTER A BY d < 8;\n"
+            + "U = UNION B, C;"
+        )
+        assert len(res.relations["U"]) == 2
+
+    def test_arity_mismatch_rejected(self, engine):
+        with pytest.raises(PigError, match="arity"):
+            engine.run(
+                LOAD
+                + "S = FOREACH A GENERATE seq;\n"
+                + "U = UNION A, S;"
+            )
+
+    def test_parse_requires_two_sources(self):
+        with pytest.raises(PigParseError):
+            parse_script("U = UNION OnlyOne;")
+
+
+class TestLshIndex:
+    def _sketches(self):
+        records = [
+            SequenceRecord("x1", "ACGTACGTACGTACGTACGT"),
+            SequenceRecord("x2", "ACGTACGTACGTACGTACGT"),
+            SequenceRecord("y1", "TTGGCCAATTGGCCAATTGG"),
+        ]
+        return compute_sketches(records, SketchingConfig(kmer_size=4, num_hashes=16, seed=0))
+
+    def test_identical_sequences_are_candidates(self):
+        sketches = self._sketches()
+        index = LshIndex(num_hashes=16, band_size=4)
+        index.insert_all(sketches[:2])
+        assert "x1" in index.candidates(sketches[1])
+        assert len(index) == 2
+        assert "x1" in index
+
+    def test_disjoint_sequences_not_candidates(self):
+        sketches = self._sketches()
+        index = LshIndex(num_hashes=16, band_size=4)
+        index.insert(sketches[0])
+        assert index.candidates(sketches[2]) == []
+
+    def test_duplicate_id_rejected(self):
+        sketches = self._sketches()
+        index = LshIndex(num_hashes=16, band_size=4)
+        index.insert(sketches[0])
+        with pytest.raises(SketchError, match="already indexed"):
+            index.insert(sketches[0])
+
+    def test_width_mismatch_rejected(self):
+        index = LshIndex(num_hashes=16, band_size=4)
+        bad = MinHashSketch("z", np.arange(8))
+        with pytest.raises(SketchError, match="width"):
+            index.insert(bad)
+
+    def test_band_divisibility(self):
+        with pytest.raises(SketchError):
+            LshIndex(num_hashes=16, band_size=5)
+
+    def test_get(self):
+        sketches = self._sketches()
+        index = LshIndex(num_hashes=16, band_size=4)
+        index.insert(sketches[0])
+        assert index.get("x1") is sketches[0]
+        with pytest.raises(SketchError):
+            index.get("nope")
+
+    def test_s_curve_properties(self):
+        # Monotone in J, 0 at J=0, 1 at J=1.
+        probs = [LshIndex.candidate_probability(j, 5, 10) for j in (0.0, 0.3, 0.7, 1.0)]
+        assert probs[0] == 0.0
+        assert probs[-1] == 1.0
+        assert probs == sorted(probs)
+
+    def test_threshold_matches_half_probability(self):
+        t = LshIndex.threshold(5, 10)
+        p = LshIndex.candidate_probability(t, 5, 10)
+        assert 0.4 < p < 0.8  # the 50% crossing approximation
+
+    def test_all_candidate_pairs(self):
+        sketches = self._sketches()
+        pairs = all_candidate_pairs(sketches, band_size=4)
+        assert ("x1", "x2") in pairs
+        assert ("x1", "y1") not in pairs
+
+    def test_empty(self):
+        assert all_candidate_pairs([], band_size=4) == set()

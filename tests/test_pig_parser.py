@@ -1,0 +1,136 @@
+"""Tests for the Pig-Latin parser."""
+
+import pytest
+
+from repro.errors import PigParseError
+from repro.pig.parser import (
+    BroadcastRef,
+    FieldProj,
+    FieldRef,
+    Literal,
+    UdfCall,
+    parse_script,
+    substitute_params,
+)
+
+
+class TestParamSubstitution:
+    def test_basic(self):
+        out = substitute_params("LOAD '$INPUT' k=$KMER", {"INPUT": "/x", "KMER": 5})
+        assert out == "LOAD '/x' k=5"
+
+    def test_missing_param(self):
+        with pytest.raises(PigParseError, match="undefined parameter"):
+            substitute_params("$NOPE", {})
+
+
+class TestLoad:
+    def test_full(self):
+        stmts = parse_script(
+            "A = LOAD '/in.fa' USING FastaStorage AS "
+            "(readid:chararray, d:int, seq:bytearray, header:chararray);"
+        )
+        s = stmts[0]
+        assert s.kind == "load"
+        assert s.alias == "A"
+        assert s.path == "/in.fa"
+        assert s.udf_name == "FastaStorage"
+        assert s.schema == ("readid", "d", "seq", "header")
+
+    def test_no_schema(self):
+        s = parse_script("A = LOAD '/x' USING FastaStorage;")[0]
+        assert s.schema == ()
+
+    def test_case_insensitive_keywords(self):
+        s = parse_script("a = load '/x' using FastaStorage;")[0]
+        assert s.kind == "load"
+
+
+class TestForeach:
+    def test_udf_call(self):
+        s = parse_script(
+            "B = FOREACH A GENERATE FLATTEN (StringGenerator(seq, readid)) "
+            "AS (seq:chararray, seqid:chararray);"
+        )[0]
+        assert s.kind == "foreach"
+        assert s.source == "A"
+        call = s.items[0]
+        assert isinstance(call, UdfCall)
+        assert call.udf_name == "StringGenerator"
+        assert call.args == (FieldRef("seq"), FieldRef("readid"))
+        assert call.schema == ("seq", "seqid")
+
+    def test_arg_kinds(self):
+        s = parse_script(
+            "J = FOREACH F GENERATE FLATTEN (Udf(minwise, I.F, 'avg', 100, 0.95));"
+        )[0]
+        call = s.items[0]
+        assert call.args == (
+            FieldRef("minwise"),
+            BroadcastRef("I", "F"),
+            Literal("avg"),
+            Literal(100),
+            Literal(0.95),
+        )
+
+    def test_projection_list(self):
+        s = parse_script("F = FOREACH E GENERATE FLATTEN (minwise), FLATTEN (seqid3);")[0]
+        assert s.items == (FieldProj("minwise"), FieldProj("seqid3"))
+
+    def test_bare_fields(self):
+        s = parse_script("F = FOREACH E GENERATE a, b;")[0]
+        assert s.items == (FieldProj("a"), FieldProj("b"))
+
+    def test_bad_item(self):
+        with pytest.raises(PigParseError):
+            parse_script("F = FOREACH E GENERATE 1 + 2;")
+
+
+class TestGroupStore:
+    def test_group_all(self):
+        s = parse_script("I = GROUP F ALL;")[0]
+        assert s.kind == "group"
+        assert s.group_by is None
+
+    def test_group_by(self):
+        s = parse_script("I = GROUP F BY seqid;")[0]
+        assert s.group_by == "seqid"
+
+    def test_store(self):
+        s = parse_script("STORE K INTO '/out';")[0]
+        assert s.kind == "store"
+        assert s.alias == "K"
+        assert s.path == "/out"
+
+
+class TestScripts:
+    def test_multi_statement_with_comments(self):
+        script = """
+        -- load the input
+        A = LOAD '/x' USING FastaStorage;
+        B = FOREACH A GENERATE FLATTEN (StringGenerator(seq, readid));  -- encode
+        STORE B INTO '/out';
+        """
+        stmts = parse_script(script)
+        assert [s.kind for s in stmts] == ["load", "foreach", "store"]
+
+    def test_algorithm3_parses(self):
+        from repro.pig.engine import MRMC_MINH_SCRIPT, default_params
+
+        stmts = parse_script(
+            MRMC_MINH_SCRIPT, default_params(input_path="/in.fa")
+        )
+        kinds = [s.kind for s in stmts]
+        assert kinds == ["load"] + ["foreach"] * 4 + ["group"] + ["foreach"] * 3 + ["store"] * 2
+
+    def test_unparseable_statement(self):
+        with pytest.raises(PigParseError, match="cannot parse statement"):
+            parse_script("DUMP A;")
+
+    def test_empty_script(self):
+        with pytest.raises(PigParseError, match="no statements"):
+            parse_script("-- nothing\n")
+
+    def test_unterminated_string_arg(self):
+        with pytest.raises(PigParseError):
+            parse_script("B = FOREACH A GENERATE FLATTEN (U('oops));")

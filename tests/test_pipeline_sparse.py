@@ -1,0 +1,88 @@
+"""Tests for the sparse pipeline mode and the Map-Reduce candidate join."""
+
+import pytest
+
+from repro.errors import ClusteringError
+from repro.cluster.pipeline import MrMCMinH
+from repro.cluster.sparse import candidate_pairs, candidate_pairs_mapreduce
+from repro.datasets import generate_whole_metagenome_sample
+from repro.minhash.sketch import SketchingConfig, compute_sketches
+
+
+@pytest.fixture(scope="module")
+def sample():
+    return generate_whole_metagenome_sample("S8", num_reads=60, genome_length=4000)
+
+
+@pytest.fixture(scope="module")
+def sketches(sample):
+    return compute_sketches(sample, SketchingConfig(kmer_size=5, num_hashes=48, seed=0))
+
+
+class TestCandidateJoinJob:
+    def test_matches_direct_computation(self, sketches):
+        direct = candidate_pairs(sketches)
+        via_job, result = candidate_pairs_mapreduce(sketches, num_reduce_tasks=3)
+        assert via_job == direct
+        assert result.trace is not None
+        assert result.trace.job_name == "sparse-candidates"
+
+    def test_max_group_respected(self, sketches):
+        direct = candidate_pairs(sketches, max_group=3)
+        via_job, _ = candidate_pairs_mapreduce(sketches, max_group=3)
+        assert via_job == direct
+
+    def test_empty_rejected(self):
+        with pytest.raises(ClusteringError):
+            candidate_pairs_mapreduce([])
+
+
+class TestSparsePipeline:
+    def test_sparse_greedy_equals_dense(self, sample):
+        dense = MrMCMinH(
+            kmer_size=5, num_hashes=48, threshold=0.78, method="greedy",
+            estimator="positional", seed=0,
+        ).fit(sample)
+        sparse = MrMCMinH(
+            kmer_size=5, num_hashes=48, threshold=0.78, method="greedy",
+            seed=0, sparse=True,
+        ).fit(sample)
+        assert dict(dense.assignment) == dict(sparse.assignment)
+
+    def test_sparse_single_linkage_equals_dense(self, sample):
+        def partition(assignment):
+            groups = {}
+            for rid, lbl in assignment.items():
+                groups.setdefault(lbl, set()).add(rid)
+            return {frozenset(g) for g in groups.values()}
+
+        dense = MrMCMinH(
+            kmer_size=5, num_hashes=48, threshold=0.78,
+            method="hierarchical", linkage="single", seed=0,
+        ).fit(sample)
+        sparse = MrMCMinH(
+            kmer_size=5, num_hashes=48, threshold=0.78,
+            method="hierarchical", linkage="single", seed=0, sparse=True,
+        ).fit(sample)
+        assert partition(dict(dense.assignment)) == partition(dict(sparse.assignment))
+
+    def test_sparse_traces_present(self, sample):
+        run = MrMCMinH(
+            kmer_size=5, num_hashes=48, threshold=0.78,
+            method="greedy", seed=0, sparse=True,
+        ).fit(sample)
+        names = [t.job_name for t in run.traces]
+        assert "sparse-candidates" in names
+        assert run.similarity is None  # no dense matrix materialised
+
+    def test_invalid_combinations(self):
+        with pytest.raises(ClusteringError, match="single"):
+            MrMCMinH(method="hierarchical", linkage="average", sparse=True)
+        with pytest.raises(ClusteringError, match="positional"):
+            MrMCMinH(method="greedy", estimator="set", sparse=True)
+        with pytest.raises(ClusteringError, match="threshold"):
+            MrMCMinH(method="greedy", threshold=0.0, sparse=True)
+
+    def test_sparse_greedy_default_estimator(self):
+        model = MrMCMinH(method="greedy", sparse=True)
+        assert model.estimator == "positional"

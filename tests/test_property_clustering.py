@@ -1,0 +1,158 @@
+"""Property-based tests of clustering invariants (hypothesis).
+
+These hold for *any* input, not just the curated fixtures: threshold
+monotonicity, partition sanity, estimator consistency, and equivalence
+between the greedy algorithm and a reference implementation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.greedy import greedy_cluster
+from repro.cluster.hierarchical import agglomerative_cluster, build_dendrogram
+from repro.minhash.sketch import MinHashSketch
+from repro.minhash.similarity import set_similarity
+
+
+@st.composite
+def sketch_sets(draw, max_sketches=16, width=6):
+    n = draw(st.integers(min_value=1, max_value=max_sketches))
+    rows = draw(
+        st.lists(
+            st.lists(st.integers(0, 9), min_size=width, max_size=width),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return [
+        MinHashSketch(f"s{i}", np.asarray(row, dtype=np.int64), family_key=(width, 10, 0))
+        for i, row in enumerate(rows)
+    ]
+
+
+@st.composite
+def similarity_matrices(draw, max_n=12):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    base = rng.random((n, n))
+    sim = (base + base.T) / 2
+    np.fill_diagonal(sim, 1.0)
+    return sim
+
+
+class TestGreedyProperties:
+    @given(sketch_sets(), st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=80, deadline=None)
+    def test_partition_is_total_and_dense(self, sketches, theta):
+        a = greedy_cluster(sketches, theta)
+        assert a.num_sequences == len(sketches)
+        labels = sorted(set(a.values()))
+        assert labels == list(range(len(labels)))
+
+    @given(sketch_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_threshold_monotonicity(self, sketches):
+        counts = [
+            greedy_cluster(sketches, t).num_clusters for t in (0.0, 0.25, 0.5, 0.75, 1.0)
+        ]
+        assert counts == sorted(counts)
+
+    @given(sketch_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_members_similar_to_representative(self, sketches):
+        """Every member joined its cluster because its similarity to the
+        representative was >= θ; re-verify against a reference scan."""
+        theta = 0.5
+        a = greedy_cluster(sketches, theta, estimator="set")
+        # Reference: replay Algorithm 1 naively.
+        expected = {}
+        unassigned = list(range(len(sketches)))
+        label = 0
+        while unassigned:
+            rep = unassigned.pop(0)
+            expected[sketches[rep].read_id] = label
+            remaining = []
+            for j in unassigned:
+                if set_similarity(sketches[rep], sketches[j]) >= theta:
+                    expected[sketches[j].read_id] = label
+                else:
+                    remaining.append(j)
+            unassigned = remaining
+            label += 1
+        assert dict(a) == expected
+
+    @given(sketch_sets(), st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_identical_sketches_always_together(self, sketches, theta):
+        # Duplicate the first sketch under a new id: must co-cluster with
+        # the original at any threshold.
+        clone = MinHashSketch(
+            "clone", sketches[0].values.copy(), family_key=sketches[0].family_key
+        )
+        a = greedy_cluster(list(sketches) + [clone], theta)
+        assert a[sketches[0].read_id] == a["clone"]
+
+
+class TestHierarchicalProperties:
+    @given(similarity_matrices(), st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_partition_total(self, sim, theta):
+        ids = [f"s{i}" for i in range(sim.shape[0])]
+        a = agglomerative_cluster(sim, ids, theta)
+        assert a.num_sequences == len(ids)
+
+    @given(similarity_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_threshold_zero_one_extremes(self, sim):
+        n = sim.shape[0]
+        ids = [f"s{i}" for i in range(n)]
+        assert agglomerative_cluster(sim, ids, 0.0).num_clusters == 1
+        # At θ=1, only exact-1.0 similarities may merge.
+        strict = agglomerative_cluster(sim, ids, 1.0)
+        off_diag = sim[~np.eye(n, dtype=bool)]
+        if n == 1 or (off_diag < 1.0).all():
+            assert strict.num_clusters == n
+
+    @given(similarity_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_dendrogram_sizes_consistent(self, sim):
+        d = build_dendrogram(sim, linkage="average")
+        total_leaves = sim.shape[0]
+        for step in d.steps:
+            assert 2 <= step.size <= total_leaves
+        if d.steps:
+            assert d.steps[-1].size <= total_leaves
+
+    @given(similarity_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_single_linkage_coarser_than_complete(self, sim):
+        """At any threshold, single linkage yields at most as many
+        clusters as complete linkage."""
+        ids = [f"s{i}" for i in range(sim.shape[0])]
+        for theta in (0.3, 0.6, 0.9):
+            single = agglomerative_cluster(sim, ids, theta, linkage="single")
+            complete = agglomerative_cluster(sim, ids, theta, linkage="complete")
+            assert single.num_clusters <= complete.num_clusters
+
+    @given(similarity_matrices())
+    @settings(max_examples=30, deadline=None)
+    def test_permutation_invariance(self, sim):
+        """Relabeling inputs permutes but does not change the partition."""
+        n = sim.shape[0]
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(n)
+        sim_p = sim[np.ix_(perm, perm)]
+        ids = [f"s{i}" for i in range(n)]
+        a = agglomerative_cluster(sim, ids, 0.5)
+        b = agglomerative_cluster(sim_p, [ids[i] for i in perm], 0.5)
+
+        def partition(assignment):
+            groups = {}
+            for rid, lbl in assignment.items():
+                groups.setdefault(lbl, set()).add(rid)
+            return {frozenset(g) for g in groups.values()}
+
+        assert partition(dict(a)) == partition(dict(b))

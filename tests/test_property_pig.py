@@ -1,0 +1,119 @@
+"""Property-based tests for the Pig layer: parser robustness and engine
+semantics on generated relations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PigParseError
+from repro.mapreduce.hdfs import SimulatedHDFS
+from repro.pig import PigEngine, parse_script
+from repro.pig.parser import substitute_params
+
+names = st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,8}", fullmatch=True)
+
+
+class TestParserProperties:
+    @given(names, names, names)
+    @settings(max_examples=50, deadline=None)
+    def test_foreach_projection_roundtrip(self, alias, source, field):
+        stmts = parse_script(f"{alias} = FOREACH {source} GENERATE {field};")
+        assert stmts[0].alias == alias
+        assert stmts[0].source == source
+
+    # "-" excluded: "--" inside a quoted path would still be stripped as a
+    # comment (a known Pig-grammar simplification of this parser).
+    @given(names, st.text(alphabet="abc/._", min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_store_roundtrip(self, alias, path):
+        stmts = parse_script(f"STORE {alias} INTO '{path}';")
+        assert stmts[0].path == path
+
+    @given(st.text(max_size=60))
+    @settings(max_examples=100, deadline=None)
+    def test_parser_never_crashes_unexpectedly(self, text):
+        """Arbitrary input either parses or raises PigParseError — never
+        anything else."""
+        try:
+            parse_script(text)
+        except PigParseError:
+            pass
+
+    @given(st.dictionaries(names, st.integers(0, 999), max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_param_substitution_complete(self, params):
+        text = " ".join(f"${k}" for k in params)
+        if not params:
+            return
+        out = substitute_params(text, params)
+        assert "$" not in out
+        for value in params.values():
+            assert str(value) in out
+
+
+class TestEngineSemantics:
+    def _engine_with(self, sequences):
+        fasta = "".join(f">{rid}\n{seq}\n" for rid, seq in sequences)
+        hdfs = SimulatedHDFS(2, block_size=65536)
+        hdfs.put("/in.fa", fasta)
+        return PigEngine(hdfs)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 999),
+                st.text(alphabet="ACGT", min_size=4, max_size=20),
+            ),
+            min_size=1,
+            max_size=15,
+            unique_by=lambda t: t[0],
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_filter_partitions_relation(self, raw):
+        sequences = [(f"r{i}", seq) for i, seq in raw]
+        engine = self._engine_with(sequences)
+        res = engine.run(
+            "A = LOAD '/in.fa' USING FastaStorage AS (readid, d, seq, header);\n"
+            "SHORT = FILTER A BY d < 10;\n"
+            "LONG = FILTER A BY d >= 10;\n"
+            "U = UNION SHORT, LONG;"
+        )
+        assert len(res.relations["SHORT"]) + len(res.relations["LONG"]) == len(sequences)
+        assert len(res.relations["U"]) == len(sequences)
+
+    @given(
+        st.lists(
+            st.text(alphabet="ACGT", min_size=4, max_size=12),
+            min_size=1,
+            max_size=10,
+        ),
+        st.integers(1, 12),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_limit_bound(self, seqs, limit):
+        sequences = [(f"r{i}", s) for i, s in enumerate(seqs)]
+        engine = self._engine_with(sequences)
+        res = engine.run(
+            "A = LOAD '/in.fa' USING FastaStorage AS (readid, d, seq, header);\n"
+            f"B = LIMIT A {limit};"
+        )
+        assert len(res.relations["B"]) == min(limit, len(sequences))
+
+    @given(
+        st.lists(
+            st.text(alphabet="ACGT", min_size=4, max_size=12),
+            min_size=2,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_order_sorts(self, seqs):
+        sequences = [(f"r{i}", s) for i, s in enumerate(seqs)]
+        engine = self._engine_with(sequences)
+        res = engine.run(
+            "A = LOAD '/in.fa' USING FastaStorage AS (readid, d, seq, header);\n"
+            "B = ORDER A BY d;"
+        )
+        lengths = [row[1] for row in res.relations["B"].rows]
+        assert lengths == sorted(lengths)

@@ -1,0 +1,235 @@
+"""Tests for the multi-job scheduler, beta diversity, and chimeras."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError, EvaluationError, SimulationError
+from repro.cluster.assignments import ClusterAssignment
+from repro.datasets.chimera import inject_chimeras, is_chimera, make_chimera
+from repro.eval.beta import (
+    beta_diversity_matrix,
+    bray_curtis,
+    jaccard_distance,
+    morisita_horn,
+    otu_table,
+)
+from repro.mapreduce.scheduler import (
+    ScheduledJob,
+    WorkloadJob,
+    job_from_trace,
+    mean_latency,
+    simulate_schedule,
+)
+from repro.mapreduce.types import JobTrace, TaskTrace
+from repro.seq.records import SequenceRecord
+
+
+class TestScheduler:
+    def test_single_job(self):
+        jobs = [WorkloadJob("a", arrival=0.0, work=100.0, max_parallelism=10)]
+        out = simulate_schedule(jobs, capacity=10.0)
+        assert out[0].finish == pytest.approx(10.0)
+        assert out[0].start == 0.0
+
+    def test_parallelism_cap(self):
+        jobs = [WorkloadJob("a", arrival=0.0, work=100.0, max_parallelism=2)]
+        out = simulate_schedule(jobs, capacity=100.0)
+        assert out[0].finish == pytest.approx(50.0)
+
+    def test_fifo_serialises(self):
+        jobs = [
+            WorkloadJob("long", 0.0, work=1000.0),
+            WorkloadJob("short", 1.0, work=10.0),
+        ]
+        out = {o.name: o for o in simulate_schedule(jobs, 10.0, policy="fifo")}
+        assert out["long"].finish == pytest.approx(100.0)
+        assert out["short"].finish == pytest.approx(101.0)
+
+    def test_fair_rescues_short_job(self):
+        jobs = [
+            WorkloadJob("long", 0.0, work=1000.0),
+            WorkloadJob("short", 1.0, work=10.0),
+        ]
+        fifo = {o.name: o for o in simulate_schedule(jobs, 10.0, policy="fifo")}
+        fair = {o.name: o for o in simulate_schedule(jobs, 10.0, policy="fair")}
+        assert fair["short"].finish < fifo["short"].finish / 10
+        # Work conservation: the last completion matches.
+        assert max(o.finish for o in fifo.values()) == pytest.approx(
+            max(o.finish for o in fair.values())
+        )
+
+    def test_fair_equal_split(self):
+        jobs = [WorkloadJob("a", 0.0, 50.0), WorkloadJob("b", 0.0, 50.0)]
+        out = simulate_schedule(jobs, 10.0, policy="fair")
+        # Each gets 5 slots -> both finish at 10.
+        assert all(o.finish == pytest.approx(10.0) for o in out)
+
+    def test_fair_water_filling_respects_caps(self):
+        jobs = [
+            WorkloadJob("capped", 0.0, work=10.0, max_parallelism=1.0),
+            WorkloadJob("wide", 0.0, work=90.0, max_parallelism=100.0),
+        ]
+        out = {o.name: o for o in simulate_schedule(jobs, 10.0, policy="fair")}
+        # capped runs at rate 1 -> finishes at 10; wide gets the other 9
+        # slots -> finishes at 10 as well.
+        assert out["capped"].finish == pytest.approx(10.0)
+        assert out["wide"].finish == pytest.approx(10.0)
+
+    def test_idle_gap_between_arrivals(self):
+        jobs = [
+            WorkloadJob("a", 0.0, work=10.0),
+            WorkloadJob("b", 100.0, work=10.0),
+        ]
+        out = {o.name: o for o in simulate_schedule(jobs, 10.0)}
+        assert out["b"].start == pytest.approx(100.0)
+
+    def test_mean_latency(self):
+        outcomes = [
+            ScheduledJob("a", arrival=0.0, start=0.0, finish=4.0),
+            ScheduledJob("b", arrival=2.0, start=2.0, finish=4.0),
+        ]
+        assert mean_latency(outcomes) == pytest.approx(3.0)
+
+    def test_job_from_trace(self):
+        trace = JobTrace(job_name="j")
+        trace.map_tasks.append(
+            TaskTrace(task_id="m", kind="map", records_in=1, cpu_seconds=2.0)
+        )
+        trace.reduce_tasks.append(
+            TaskTrace(task_id="r", kind="reduce", records_in=1, cpu_seconds=1.0)
+        )
+        job = job_from_trace(trace)
+        assert job.max_parallelism == 2.0
+        assert job.work > 3.0  # durations include launch overhead
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            simulate_schedule([], 10.0)
+        with pytest.raises(SimulationError):
+            simulate_schedule([WorkloadJob("a", 0, 1)], 0.0)
+        with pytest.raises(SimulationError):
+            simulate_schedule([WorkloadJob("a", 0, 1)], 1.0, policy="lifo")
+        with pytest.raises(SimulationError):
+            simulate_schedule(
+                [WorkloadJob("a", 0, 1), WorkloadJob("a", 0, 1)], 1.0
+            )
+        with pytest.raises(SimulationError):
+            WorkloadJob("a", 0.0, work=0.0)
+
+
+class TestBetaDiversity:
+    def test_identical_samples(self):
+        a = {0: 10, 1: 5}
+        assert bray_curtis(a, dict(a)) == pytest.approx(0.0)
+        assert jaccard_distance(a, dict(a)) == pytest.approx(0.0)
+        assert morisita_horn(a, dict(a)) == pytest.approx(1.0)
+
+    def test_disjoint_samples(self):
+        a, b = {0: 10}, {1: 10}
+        assert bray_curtis(a, b) == pytest.approx(1.0)
+        assert jaccard_distance(a, b) == pytest.approx(1.0)
+        assert morisita_horn(a, b) == pytest.approx(0.0)
+
+    def test_bray_curtis_abundance_sensitivity(self):
+        a = {0: 100, 1: 1}
+        close = {0: 90, 1: 11}
+        far = {0: 10, 1: 91}
+        assert bray_curtis(a, close) < bray_curtis(a, far)
+
+    def test_jaccard_ignores_abundance(self):
+        a = {0: 100, 1: 1}
+        b = {0: 1, 1: 100}
+        assert jaccard_distance(a, b) == pytest.approx(0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EvaluationError):
+            bray_curtis({}, {0: 1})
+
+    def test_matrix(self):
+        samples = {"s1": {0: 5, 1: 5}, "s2": {0: 5, 1: 5}, "s3": {2: 10}}
+        ids, m = beta_diversity_matrix(samples)
+        assert ids == ["s1", "s2", "s3"]
+        assert m[0, 1] == pytest.approx(0.0)
+        assert m[0, 2] == pytest.approx(1.0)
+        assert np.allclose(m, m.T)
+
+    def test_matrix_validation(self):
+        with pytest.raises(EvaluationError):
+            beta_diversity_matrix({"only": {0: 1}})
+        with pytest.raises(EvaluationError):
+            beta_diversity_matrix({"a": {0: 1}, "b": {0: 1}}, metric="bogus")
+
+    def test_otu_table(self):
+        assignment = ClusterAssignment({"r1": 0, "r2": 0, "r3": 1, "r4": 1})
+        sample_of = {"r1": "A", "r2": "B", "r3": "A", "r4": "A"}
+        table = otu_table(assignment, sample_of)
+        assert table == {"A": {0: 1, 1: 2}, "B": {0: 1}}
+
+    def test_otu_table_missing_sample(self):
+        assignment = ClusterAssignment({"r1": 0})
+        with pytest.raises(EvaluationError):
+            otu_table(assignment, {})
+
+
+class TestChimeras:
+    def _parents(self):
+        return [
+            SequenceRecord("a", "A" * 60, label="X"),
+            SequenceRecord("b", "T" * 60, label="Y"),
+        ]
+
+    def test_make_chimera_structure(self):
+        a, b = self._parents()
+        chim = make_chimera(a, b, breakpoint_fraction=0.5, read_id="c1")
+        assert chim.sequence.startswith("A" * 30)
+        assert chim.sequence.endswith("T" * 30)
+        assert is_chimera(chim)
+        assert "X+Y" in chim.label
+
+    def test_breakpoint_validation(self):
+        a, b = self._parents()
+        with pytest.raises(DatasetError):
+            make_chimera(a, b, breakpoint_fraction=0.0, read_id="c")
+
+    def test_injection_rate(self):
+        reads = [
+            SequenceRecord(f"r{i}", "ACGT" * 20, label=f"L{i % 3}") for i in range(100)
+        ]
+        out = inject_chimeras(reads, rate=0.1, rng=0)
+        assert len(out) == 100
+        n_chim = sum(1 for r in out if is_chimera(r))
+        assert n_chim == 10
+
+    def test_zero_rate_identity(self):
+        reads = self._parents()
+        assert inject_chimeras(reads, rate=0.0, rng=0) == reads
+
+    def test_chimeras_prefer_cross_template(self):
+        reads = [
+            SequenceRecord(f"x{i}", "A" * 50, label="X") for i in range(20)
+        ] + [SequenceRecord(f"y{i}", "T" * 50, label="Y") for i in range(20)]
+        out = inject_chimeras(reads, rate=0.5, rng=1)
+        cross = [
+            r for r in out if is_chimera(r) and "X+Y" in r.label or "Y+X" in r.label
+        ]
+        assert len(cross) >= 10
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            inject_chimeras(self._parents(), rate=1.5)
+        with pytest.raises(DatasetError):
+            inject_chimeras(self._parents()[:1], rate=0.5)
+
+    def test_chimeras_inflate_otu_counts(self):
+        """The biological effect: chimeras create extra clusters."""
+        from repro.cluster.pipeline import MrMCMinH
+        from repro.datasets import generate_environmental_sample
+
+        reads = generate_environmental_sample("53R", num_reads=120, seed=3)
+        chimeric = inject_chimeras(reads, rate=0.15, rng=3)
+        model = lambda: MrMCMinH(
+            kmer_size=15, num_hashes=50, threshold=0.95, seed=3
+        )
+        clean_clusters = model().fit(reads).assignment.num_clusters
+        chim_clusters = model().fit(chimeric).assignment.num_clusters
+        assert chim_clusters >= clean_clusters

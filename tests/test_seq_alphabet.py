@@ -1,0 +1,109 @@
+"""Tests for DNA alphabet handling and 2-bit encoding."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SequenceError
+from repro.seq.alphabet import (
+    decode_dna,
+    encode_dna,
+    gc_content,
+    is_valid_dna,
+    reverse_complement,
+    sanitize,
+)
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self):
+        seq = "ACGTACGTTTGGCCAA"
+        assert decode_dna(encode_dna(seq)) == seq
+
+    def test_codes(self):
+        assert encode_dna("ACGT").tolist() == [0, 1, 2, 3]
+
+    def test_lowercase_accepted(self):
+        assert encode_dna("acgt").tolist() == [0, 1, 2, 3]
+
+    def test_empty(self):
+        assert encode_dna("").size == 0
+        assert decode_dna(np.empty(0, dtype=np.int8)) == ""
+
+    def test_strict_rejects_ambiguity(self):
+        with pytest.raises(SequenceError, match="invalid DNA character"):
+            encode_dna("ACGNT")
+
+    def test_nonstrict_marks_ambiguity(self):
+        codes = encode_dna("ACGNT", strict=False)
+        assert codes.tolist() == [0, 1, 2, -1, 3]
+
+    def test_non_ascii_rejected(self):
+        with pytest.raises(SequenceError):
+            encode_dna("ACGé")
+
+    def test_decode_rejects_invalid_codes(self):
+        with pytest.raises(SequenceError):
+            decode_dna(np.array([0, 4]))
+        with pytest.raises(SequenceError):
+            decode_dna(np.array([-1]))
+
+
+class TestValidation:
+    def test_valid(self):
+        assert is_valid_dna("ACGT")
+        assert is_valid_dna("acgt")
+
+    def test_invalid(self):
+        assert not is_valid_dna("ACGN")
+        assert not is_valid_dna("")
+        assert not is_valid_dna("ACG T")
+
+
+class TestSanitize:
+    def test_strips_ambiguity(self):
+        assert sanitize("AcgNNNTx") == "ACGT"
+
+    def test_replacement(self):
+        assert sanitize("ACNGT", replacement="A") == "ACAGT"
+
+    def test_bad_replacement(self):
+        with pytest.raises(SequenceError):
+            sanitize("ACGT", replacement="X")
+
+
+class TestReverseComplement:
+    def test_basic(self):
+        assert reverse_complement("ACGT") == "ACGT"  # palindromic
+        assert reverse_complement("AAGC") == "GCTT"
+
+    def test_involution(self):
+        seq = "ATTGCGCATATGGCC"
+        assert reverse_complement(reverse_complement(seq)) == seq
+
+    def test_rejects_ambiguity(self):
+        with pytest.raises(SequenceError):
+            reverse_complement("ACGN")
+
+    def test_empty(self):
+        assert reverse_complement("") == ""
+
+
+class TestGcContent:
+    def test_half(self):
+        assert gc_content("ACGT") == 0.5
+
+    def test_extremes(self):
+        assert gc_content("GGCC") == 1.0
+        assert gc_content("AATT") == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(SequenceError):
+            gc_content("")
+
+    def test_skips_ambiguous(self):
+        # 2 GC out of 4 unambiguous bases.
+        assert gc_content("GCNNAT") == 0.5
+
+    def test_all_ambiguous_rejected(self):
+        with pytest.raises(SequenceError):
+            gc_content("NNN")

@@ -1,0 +1,87 @@
+"""Tests for the sequencing-error models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.seq.error_models import (
+    PyrosequencingErrorModel,
+    SubstitutionErrorModel,
+    apply_errors,
+)
+
+
+class TestSubstitutionModel:
+    def test_zero_rate_identity(self):
+        model = SubstitutionErrorModel(0.0)
+        seq = "ACGT" * 25
+        assert model.apply(seq, np.random.default_rng(0)) == seq
+
+    def test_full_rate_changes_everything(self):
+        model = SubstitutionErrorModel(1.0)
+        seq = "A" * 200
+        out = model.apply(seq, np.random.default_rng(0))
+        assert len(out) == len(seq)
+        assert "A" not in out  # substitutions never keep the base
+
+    def test_rate_statistics(self):
+        model = SubstitutionErrorModel(0.1)
+        seq = "ACGT" * 2500
+        out = model.apply(seq, np.random.default_rng(1))
+        diffs = sum(1 for a, b in zip(seq, out) if a != b)
+        assert 0.07 < diffs / len(seq) < 0.13
+
+    def test_preserves_length(self):
+        model = SubstitutionErrorModel(0.3)
+        out = model.apply("ACGTACGTAC", np.random.default_rng(2))
+        assert len(out) == 10
+
+    def test_invalid_rate(self):
+        with pytest.raises(DatasetError):
+            SubstitutionErrorModel(1.5)
+        with pytest.raises(DatasetError):
+            SubstitutionErrorModel(-0.1)
+
+    def test_deterministic_given_rng(self):
+        model = SubstitutionErrorModel(0.2)
+        a = model.apply("ACGT" * 50, np.random.default_rng(3))
+        b = model.apply("ACGT" * 50, np.random.default_rng(3))
+        assert a == b
+
+
+class TestPyroModel:
+    def test_zero_rates_identity(self):
+        model = PyrosequencingErrorModel(indel_rate=0.0, substitution_rate=0.0)
+        seq = "AAACCCGGG"
+        assert model.apply(seq, np.random.default_rng(0)) == seq
+
+    def test_homopolymer_indels_change_length(self):
+        model = PyrosequencingErrorModel(indel_rate=1.0, substitution_rate=0.0)
+        seq = "AAAA" + "CCCC" + "GGGG"
+        out = model.apply(seq, np.random.default_rng(0))
+        assert out != seq or len(out) != len(seq)
+
+    def test_alphabet_preserved(self):
+        model = PyrosequencingErrorModel(indel_rate=0.5, substitution_rate=0.1)
+        out = model.apply("ACGTAAACCCGGGTTT" * 5, np.random.default_rng(1))
+        assert set(out) <= set("ACGT")
+
+    def test_never_empty(self):
+        model = PyrosequencingErrorModel(indel_rate=1.0)
+        out = model.apply("A", np.random.default_rng(2))
+        assert len(out) >= 1
+
+    def test_invalid_rates(self):
+        with pytest.raises(DatasetError):
+            PyrosequencingErrorModel(indel_rate=-0.1)
+        with pytest.raises(DatasetError):
+            PyrosequencingErrorModel(substitution_rate=2.0)
+
+
+class TestApplyErrors:
+    def test_none_model_identity(self):
+        assert apply_errors("ACGT", None, 0) == "ACGT"
+
+    def test_dispatch(self):
+        out = apply_errors("A" * 100, SubstitutionErrorModel(1.0), 0)
+        assert "A" not in out

@@ -1,0 +1,111 @@
+"""Tests for vectorised k-mer extraction, including a property-based
+cross-check against the string reference implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KmerError
+from repro.seq.kmers import (
+    code_to_kmer,
+    kmer_codes,
+    kmer_counts,
+    kmer_set,
+    kmer_strings,
+    max_kmer_code,
+)
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=200)
+
+
+class TestKmerCodes:
+    def test_known_values(self):
+        # AC = 0*4 + 1 = 1; CG = 1*4+2 = 6; GT = 2*4+3 = 11
+        assert kmer_codes("ACGT", 2).tolist() == [1, 6, 11]
+
+    def test_count(self):
+        assert kmer_codes("ACGTACGT", 3).size == 6
+
+    def test_k_equals_length(self):
+        codes = kmer_codes("ACGT", 4)
+        assert codes.tolist() == [0 * 64 + 1 * 16 + 2 * 4 + 3]
+
+    def test_too_short_strict(self):
+        with pytest.raises(KmerError, match="shorter than"):
+            kmer_codes("AC", 3)
+
+    def test_too_short_nonstrict(self):
+        assert kmer_codes("AC", 3, strict=False).size == 0
+
+    def test_ambiguous_strict_rejected(self):
+        with pytest.raises(Exception):
+            kmer_codes("ACNGT", 2)
+
+    def test_ambiguous_nonstrict_skips_windows(self):
+        codes = kmer_codes("ACNGT", 2, strict=False)
+        # Windows AC, GT survive; CN, NG dropped.
+        assert codes.tolist() == [1, 11]
+
+    def test_invalid_k(self):
+        with pytest.raises(KmerError):
+            kmer_codes("ACGT", 0)
+        with pytest.raises(KmerError):
+            kmer_codes("ACGT", 32)
+        with pytest.raises(KmerError):
+            kmer_codes("ACGT", 2.5)  # type: ignore[arg-type]
+
+    @given(dna, st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_string_reference(self, seq, k):
+        """Vectorised codes must equal encoding each string k-mer."""
+        if len(seq) < k:
+            return
+        fast = kmer_codes(seq, k).tolist()
+        slow = [
+            sum(4 ** (k - 1 - i) * "ACGT".index(c) for i, c in enumerate(w))
+            for w in kmer_strings(seq, k)
+        ]
+        assert fast == slow
+
+
+class TestKmerSet:
+    def test_unique_and_sorted(self):
+        s = kmer_set("AAAA", 2)
+        assert s.tolist() == [0]
+
+    def test_is_set_of_codes(self):
+        s = set(kmer_set("ACGTACGT", 2).tolist())
+        assert s == set(kmer_codes("ACGTACGT", 2).tolist())
+
+
+class TestKmerCounts:
+    def test_multiplicity(self):
+        counts = kmer_counts("AAAA", 2)
+        assert counts == {0: 3}
+
+    def test_total(self):
+        counts = kmer_counts("ACGTACG", 3)
+        assert sum(counts.values()) == 5
+
+
+class TestCodecHelpers:
+    def test_max_kmer_code(self):
+        assert max_kmer_code(3) == 64
+
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=0))
+    @settings(max_examples=50, deadline=None)
+    def test_code_to_kmer_roundtrip(self, k, raw):
+        code = raw % (4**k)
+        kmer = code_to_kmer(code, k)
+        assert len(kmer) == k
+        back = kmer_codes(kmer, k)[0]
+        assert int(back) == code
+
+    def test_code_out_of_range(self):
+        with pytest.raises(KmerError):
+            code_to_kmer(64, 3)
+
+    def test_strings_too_short(self):
+        with pytest.raises(KmerError):
+            kmer_strings("AC", 3)

@@ -1,0 +1,118 @@
+"""Tests for sequence records and FASTA I/O."""
+
+import pytest
+
+from repro.errors import FastaParseError, SequenceError
+from repro.seq.fasta import format_fasta, read_fasta, read_fasta_text, write_fasta
+from repro.seq.records import SequenceRecord
+
+
+class TestSequenceRecord:
+    def test_uppercases(self):
+        rec = SequenceRecord("r1", "acgt")
+        assert rec.sequence == "ACGT"
+
+    def test_len(self):
+        assert len(SequenceRecord("r1", "ACGTAC")) == 6
+
+    def test_gc(self):
+        assert SequenceRecord("r1", "GGCC").gc == 1.0
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(SequenceError):
+            SequenceRecord("r1", "")
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(SequenceError):
+            SequenceRecord("", "ACGT")
+
+    def test_with_label(self):
+        rec = SequenceRecord("r1", "ACGT").with_label("Bacillus")
+        assert rec.label == "Bacillus"
+        assert rec.read_id == "r1"
+
+    def test_label_not_in_equality(self):
+        a = SequenceRecord("r1", "ACGT", label="x")
+        b = SequenceRecord("r1", "ACGT", label="y")
+        assert a == b
+
+
+class TestFastaParsing:
+    def test_basic(self):
+        recs = read_fasta_text(">r1 desc\nACGT\n>r2\nTTTT\n")
+        assert [r.read_id for r in recs] == ["r1", "r2"]
+        assert recs[0].header == "r1 desc"
+        assert recs[0].sequence == "ACGT"
+
+    def test_multiline_sequence(self):
+        recs = read_fasta_text(">r1\nACGT\nACGT\nAC\n")
+        assert recs[0].sequence == "ACGTACGTAC"
+
+    def test_blank_lines_and_comments(self):
+        recs = read_fasta_text("; comment\n\n>r1\n\nACGT\n\n")
+        assert len(recs) == 1
+        assert recs[0].sequence == "ACGT"
+
+    def test_crlf(self):
+        recs = read_fasta_text(">r1\r\nACGT\r\n")
+        assert recs[0].sequence == "ACGT"
+
+    def test_sequence_before_header_rejected(self):
+        with pytest.raises(FastaParseError, match="before first"):
+            read_fasta_text("ACGT\n>r1\nACGT\n")
+
+    def test_empty_record_rejected(self):
+        with pytest.raises(FastaParseError, match="no sequence"):
+            read_fasta_text(">r1\n>r2\nACGT\n")
+
+    def test_empty_header_rejected(self):
+        with pytest.raises(FastaParseError, match="empty FASTA header"):
+            read_fasta_text(">\nACGT\n")
+
+    def test_empty_input(self):
+        assert read_fasta_text("") == []
+
+    def test_error_carries_line_number(self):
+        try:
+            read_fasta_text(">r1\nACGT\n>bad\n")
+        except FastaParseError as exc:
+            assert exc.line_number == 3
+        else:
+            pytest.fail("expected FastaParseError")
+
+
+class TestFastaFormatting:
+    def test_roundtrip(self):
+        recs = [
+            SequenceRecord("r1", "ACGT" * 30, header="r1 sample=x"),
+            SequenceRecord("r2", "TTTT"),
+        ]
+        parsed = read_fasta_text(format_fasta(recs))
+        assert [r.read_id for r in parsed] == ["r1", "r2"]
+        assert parsed[0].sequence == recs[0].sequence
+        assert parsed[0].header == "r1 sample=x"
+
+    def test_wrapping(self):
+        text = format_fasta([SequenceRecord("r1", "A" * 100)], width=40)
+        lines = text.strip().splitlines()
+        assert lines[0] == ">r1"
+        assert [len(line) for line in lines[1:]] == [40, 40, 20]
+
+    def test_bad_width(self):
+        with pytest.raises(FastaParseError):
+            format_fasta([SequenceRecord("r1", "ACGT")], width=0)
+
+    def test_empty(self):
+        assert format_fasta([]) == ""
+
+
+class TestFastaFiles:
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "x.fa"
+        recs = [SequenceRecord("a", "ACGTACGT"), SequenceRecord("b", "GGGGCCCC")]
+        write_fasta(recs, path)
+        back = read_fasta(path)
+        assert [(r.read_id, r.sequence) for r in back] == [
+            ("a", "ACGTACGT"),
+            ("b", "GGGGCCCC"),
+        ]

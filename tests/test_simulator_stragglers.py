@@ -1,0 +1,108 @@
+"""Tests for heterogeneous nodes and speculative execution in the
+cluster simulator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.mapreduce.costmodel import HadoopCostModel
+from repro.mapreduce.simulator import ClusterSimulator, ClusterSpec
+from repro.mapreduce.types import JobTrace, TaskTrace
+
+
+def trace(num_maps=16, cpu=2.0):
+    t = JobTrace(job_name="t")
+    for i in range(num_maps):
+        t.map_tasks.append(
+            TaskTrace(task_id=f"m{i}", kind="map", records_in=10, cpu_seconds=cpu)
+        )
+    t.reduce_tasks.append(
+        TaskTrace(task_id="r0", kind="reduce", records_in=10, cpu_seconds=0.5)
+    )
+    return t
+
+
+MODEL = HadoopCostModel(job_startup_s=0.0, task_launch_s=0.0, hdfs_read_bw=1e12)
+
+
+def makespan(spec):
+    return ClusterSimulator(spec, MODEL).simulate_job(trace()).total_s
+
+
+class TestSpeedFactors:
+    def test_no_stragglers_all_nominal(self):
+        spec = ClusterSpec(num_nodes=4)
+        assert spec.node_speed_factors() == [1.0] * 4
+
+    def test_fraction_rounds(self):
+        spec = ClusterSpec(num_nodes=4, straggler_fraction=0.5, straggler_slowdown=2.0)
+        factors = spec.node_speed_factors()
+        assert sorted(factors) == [1.0, 1.0, 2.0, 2.0]
+
+    def test_deterministic_by_seed(self):
+        a = ClusterSpec(num_nodes=8, straggler_fraction=0.25, straggler_seed=3)
+        b = ClusterSpec(num_nodes=8, straggler_fraction=0.25, straggler_seed=3)
+        assert a.node_speed_factors() == b.node_speed_factors()
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            ClusterSpec(num_nodes=2, straggler_fraction=1.5)
+        with pytest.raises(SimulationError):
+            ClusterSpec(num_nodes=2, straggler_slowdown=0.5)
+
+
+class TestStragglerImpact:
+    def test_stragglers_inflate_makespan(self):
+        healthy = makespan(ClusterSpec(num_nodes=4))
+        degraded = makespan(
+            ClusterSpec(num_nodes=4, straggler_fraction=0.25, straggler_slowdown=4.0)
+        )
+        assert degraded > healthy * 1.3
+
+    def test_speculation_recovers_most_of_it(self):
+        healthy = makespan(ClusterSpec(num_nodes=4))
+        degraded = makespan(
+            ClusterSpec(num_nodes=4, straggler_fraction=0.25, straggler_slowdown=4.0)
+        )
+        rescued = makespan(
+            ClusterSpec(
+                num_nodes=4,
+                straggler_fraction=0.25,
+                straggler_slowdown=4.0,
+                speculative_execution=True,
+            )
+        )
+        assert rescued < degraded
+        assert rescued < healthy * 2.0
+
+    def test_speculation_noop_without_stragglers(self):
+        plain = makespan(ClusterSpec(num_nodes=4))
+        spec = makespan(ClusterSpec(num_nodes=4, speculative_execution=True))
+        assert spec == pytest.approx(plain)
+
+    def test_speculative_attempts_counted(self):
+        spec = ClusterSpec(
+            num_nodes=4, straggler_fraction=0.5, straggler_slowdown=3.0,
+            speculative_execution=True,
+        )
+        report = ClusterSimulator(spec, MODEL).simulate_job(trace())
+        assert report.speculative_attempts > 0
+
+    def test_single_slot_cluster_never_deadlocks(self):
+        spec = ClusterSpec(
+            num_nodes=1, map_slots_per_node=1, straggler_fraction=1.0,
+            straggler_slowdown=5.0, speculative_execution=True,
+        )
+        report = ClusterSimulator(spec, MODEL).simulate_job(trace(num_maps=4))
+        assert report.total_s > 0
+        assert report.speculative_attempts == 0
+
+    def test_reduce_phase_affected_by_stragglers(self):
+        all_slow = ClusterSpec(
+            num_nodes=2, straggler_fraction=1.0, straggler_slowdown=3.0
+        )
+        healthy = ClusterSpec(num_nodes=2)
+        slow_report = ClusterSimulator(all_slow, MODEL).simulate_job(trace())
+        fast_report = ClusterSimulator(healthy, MODEL).simulate_job(trace())
+        assert slow_report.reduce_phase_s == pytest.approx(
+            fast_report.reduce_phase_s * 3.0
+        )

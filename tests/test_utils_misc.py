@@ -1,0 +1,86 @@
+"""Tests for timing and chunking utilities."""
+
+import pytest
+
+from repro.utils.chunking import chunk_indices, even_splits
+from repro.utils.timing import Stopwatch, format_duration
+
+
+class TestStopwatch:
+    def test_lap_accumulates(self):
+        sw = Stopwatch()
+        with sw.lap("a"):
+            pass
+        with sw.lap("a"):
+            pass
+        assert sw.laps["a"] >= 0
+        assert set(sw.laps) == {"a"}
+
+    def test_total_sums_laps(self):
+        sw = Stopwatch()
+        sw.laps["x"] = 1.5
+        sw.laps["y"] = 0.5
+        assert sw.total == 2.0
+
+    def test_multiple_names(self):
+        sw = Stopwatch()
+        with sw.lap("a"):
+            pass
+        with sw.lap("b"):
+            pass
+        assert set(sw.laps) == {"a", "b"}
+
+
+class TestFormatDuration:
+    def test_seconds(self):
+        assert format_duration(8.4) == "8.4s"
+
+    def test_minutes(self):
+        assert format_duration(265) == "4m 25s"
+
+    def test_exact_minute(self):
+        assert format_duration(60) == "1m 00s"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_duration(-1)
+
+
+class TestEvenSplits:
+    def test_sum_preserved(self):
+        assert sum(even_splits(10, 3)) == 10
+
+    def test_sizes_differ_by_at_most_one(self):
+        sizes = even_splits(11, 4)
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_parts_than_items(self):
+        sizes = even_splits(2, 5)
+        assert sizes == [1, 1, 0, 0, 0]
+
+    def test_zero_items(self):
+        assert even_splits(0, 3) == [0, 0, 0]
+
+    def test_invalid_parts(self):
+        with pytest.raises(ValueError):
+            even_splits(5, 0)
+
+    def test_negative_n(self):
+        with pytest.raises(ValueError):
+            even_splits(-1, 2)
+
+
+class TestChunkIndices:
+    def test_covers_range(self):
+        chunks = chunk_indices(10, 3)
+        covered = [i for start, stop in chunks for i in range(start, stop)]
+        assert covered == list(range(10))
+
+    def test_contiguous(self):
+        chunks = chunk_indices(7, 3)
+        for (_, stop1), (start2, _) in zip(chunks, chunks[1:]):
+            assert stop1 == start2
+
+    def test_empty_chunks_when_parts_exceed_n(self):
+        chunks = chunk_indices(1, 3)
+        assert chunks == [(0, 1), (1, 1), (1, 1)]
