@@ -74,6 +74,11 @@ def banded_identity(
                 cur_match[idx] = 0
                 cur_len[idx] = i
                 continue
+            # Ties between equal-score paths are broken lexicographically on
+            # (score, matches, -length).  The tuple is invariant under
+            # transposition (swapping the sequences swaps the "up" and
+            # "left" candidates but not their tuples), which keeps the
+            # reported identity symmetric in its arguments.
             best = _NEG
             best_m = 0
             best_l = 0
@@ -82,25 +87,25 @@ def banded_identity(
             if 0 <= pd < len(prev_score) and prev_score[pd] > _NEG:
                 is_match = ai == b[j - 1]
                 cand = prev_score[pd] + (match if is_match else mismatch)
-                if cand > best:
-                    best = cand
-                    best_m = prev_match[pd] + (1 if is_match else 0)
-                    best_l = prev_len[pd] + 1
+                cand_m = prev_match[pd] + (1 if is_match else 0)
+                cand_l = prev_len[pd] + 1
+                if (cand, cand_m, -cand_l) > (best, best_m, -best_l):
+                    best, best_m, best_l = cand, cand_m, cand_l
             # up: prev row cell (i-1, j)
             pu = j - prev_lo
             if 0 <= pu < len(prev_score) and prev_score[pu] > _NEG:
                 cand = prev_score[pu] + gap
-                if cand > best:
-                    best = cand
-                    best_m = prev_match[pu]
-                    best_l = prev_len[pu] + 1
+                cand_m = prev_match[pu]
+                cand_l = prev_len[pu] + 1
+                if (cand, cand_m, -cand_l) > (best, best_m, -best_l):
+                    best, best_m, best_l = cand, cand_m, cand_l
             # left: current row cell (i, j-1)
             if idx > 0 and cur_score[idx - 1] > _NEG:
                 cand = cur_score[idx - 1] + gap
-                if cand > best:
-                    best = cand
-                    best_m = cur_match[idx - 1]
-                    best_l = cur_len[idx - 1] + 1
+                cand_m = cur_match[idx - 1]
+                cand_l = cur_len[idx - 1] + 1
+                if (cand, cand_m, -cand_l) > (best, best_m, -best_l):
+                    best, best_m, best_l = cand, cand_m, cand_l
             cur_score[idx] = best
             cur_match[idx] = best_m
             cur_len[idx] = best_l

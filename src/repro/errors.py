@@ -47,6 +47,44 @@ class HdfsError(MapReduceError):
     """Errors raised by the simulated HDFS layer."""
 
 
+class FaultError(MapReduceError):
+    """An injected or detected task fault (crash, hang, corrupt output).
+
+    Raised *inside* a task attempt by the fault-injection layer and by the
+    runner's integrity checks; the runner catches it, records the attempt
+    failure, and retries up to ``JobConf.max_task_attempts``.
+    """
+
+    def __init__(self, message: str, *, task_id: str | None = None, attempt: int | None = None):
+        self.task_id = task_id
+        self.attempt = attempt
+        if task_id is not None:
+            prefix = f"{task_id}" + (f" attempt {attempt}" if attempt is not None else "")
+            message = f"{prefix}: {message}"
+        super().__init__(message)
+
+
+class TaskFailedError(MapReduceError):
+    """A task exhausted all its attempts; carries the failure history."""
+
+    def __init__(self, task_id: str, failures: list[str]):
+        self.task_id = task_id
+        self.failures = list(failures)
+        super().__init__(
+            f"task {task_id} failed after {len(failures)} attempt(s): "
+            + "; ".join(failures)
+        )
+
+
+class JobKilledError(MapReduceError):
+    """The whole job was killed mid-run (injected driver death).
+
+    Completed task outputs survive in the job's
+    :class:`~repro.mapreduce.faults.JobCheckpoint`; re-running the job with
+    the same checkpoint resumes from the last barrier.
+    """
+
+
 class PigError(ReproError):
     """Errors raised by the Pig dataflow layer."""
 

@@ -15,10 +15,18 @@ execution substrate in pure Python:
   the discrete-event cluster model used to regenerate Figure 2.
 """
 
+from repro.errors import FaultError, JobKilledError, TaskFailedError
 from repro.mapreduce.types import JobConf, JobTrace, TaskTrace, stable_hash
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.job import MapReduceJob, identity_mapper, identity_reducer
 from repro.mapreduce.shuffle import default_partitioner, shuffle
+from repro.mapreduce.faults import (
+    DatanodeKill,
+    Fault,
+    FaultPlan,
+    JobCheckpoint,
+    RetryPolicy,
+)
 from repro.mapreduce.runner import JobResult, SerialRunner
 from repro.mapreduce.local import MultiprocessRunner
 from repro.mapreduce.hdfs import BlockInfo, FileMeta, SimulatedHDFS
@@ -39,6 +47,14 @@ __all__ = [
     "TaskTrace",
     "stable_hash",
     "Counters",
+    "Fault",
+    "FaultPlan",
+    "FaultError",
+    "DatanodeKill",
+    "RetryPolicy",
+    "JobCheckpoint",
+    "TaskFailedError",
+    "JobKilledError",
     "MapReduceJob",
     "identity_mapper",
     "identity_reducer",

@@ -31,6 +31,10 @@ class Counters:
         for key, value in other._values.items():
             self._values[key] += value
 
+    def total(self, group: str) -> int:
+        """Sum of every counter in ``group`` (0 for an unknown group)."""
+        return sum(v for (g, _), v in self._values.items() if g == group)
+
     def groups(self) -> list[str]:
         """Sorted list of counter groups seen so far."""
         return sorted({group for group, _ in self._values})

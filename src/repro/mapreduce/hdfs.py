@@ -238,6 +238,12 @@ class SimulatedHDFS:
         """Ids of datanodes currently alive."""
         return [n.node_id for n in self._datanodes if n.alive]
 
+    def datanode_alive(self, node_id: int) -> bool:
+        """Whether one datanode is currently alive (used by fault plans to
+        keep barrier kills idempotent)."""
+        self._check_node(node_id)
+        return self._datanodes[node_id].alive
+
     # ---- internals -----------------------------------------------------------
 
     def _check_node(self, node_id: int) -> None:

@@ -16,6 +16,7 @@ runner detects this by signature inspection once per job.
 from __future__ import annotations
 
 import inspect
+import pickle
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 
@@ -88,3 +89,22 @@ class MapReduceJob:
         if self.combiner is None:
             return [(key, v) for v in values]
         return self.combiner(key, values)
+
+    def ensure_picklable(self) -> None:
+        """Reject jobs that cannot cross a process boundary.
+
+        The multiprocess runner ships the whole job to its workers;
+        lambdas and other unpicklable callables fail deep inside the pool
+        with an opaque ``PicklingError``.  Checking up front turns that
+        into a clear :class:`~repro.errors.MapReduceError` — the same
+        contract real Hadoop streaming imposes (module-level functions
+        only).
+        """
+        try:
+            pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+        except (pickle.PicklingError, TypeError, AttributeError) as exc:
+            raise MapReduceError(
+                f"job {self.name!r} is not picklable and cannot run on the "
+                f"multiprocess runner (use module-level functions, not "
+                f"lambdas or closures): {exc}"
+            ) from exc

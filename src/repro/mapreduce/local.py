@@ -2,27 +2,92 @@
 
 Map tasks and reduce partitions are dispatched to a ``multiprocessing``
 pool.  Jobs must be defined with picklable (module-level) mapper/reducer
-functions — the same constraint real Hadoop streaming imposes.  On a
-single-core machine this degrades gracefully to serial execution.
+functions — the same constraint real Hadoop streaming imposes (checked up
+front so the error is clear).  On a single-core machine this degrades
+gracefully to serial in-process execution.
+
+Execution is fault tolerant, mirroring the Hadoop TaskTracker protocol:
+
+* every task attempt is dispatched asynchronously and retried with
+  exponential backoff up to ``JobConf.max_task_attempts``;
+* attempts that exceed ``JobConf.task_timeout`` are abandoned (their
+  late results are discarded — the in-memory analogue of killing the
+  attempt) and re-executed;
+* with ``JobConf.speculative_margin > 0``, a task running longer than
+  ``margin x median(completed durations)`` gets a concurrent speculative
+  backup attempt; the first result wins and the loser's output is
+  discarded exactly once;
+* with a :class:`~repro.mapreduce.faults.FaultPlan`, every attempt ships
+  a CRC32 of its output computed at production time and the driver
+  verifies it on receipt, so injected shuffle corruption is detected and
+  retried;
+* a :class:`~repro.mapreduce.faults.JobCheckpoint` restores completed
+  task outputs so a killed job resumes from the last barrier.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from collections.abc import Sequence
+from dataclasses import dataclass, field
 from multiprocessing import get_context
 
-from repro.errors import MapReduceError
+from repro.errors import FaultError, MapReduceError, TaskFailedError
 from repro.mapreduce.counters import Counters
+from repro.mapreduce.faults import (
+    FaultPlan,
+    JobCheckpoint,
+    RetryPolicy,
+    records_checksum,
+)
 from repro.mapreduce.job import MapReduceJob
-from repro.mapreduce.runner import JobResult, SerialRunner
+from repro.mapreduce.runner import JobResult, SerialRunner, _approx_bytes, _median
 from repro.mapreduce.shuffle import shuffle
-from repro.mapreduce.types import JobConf
+from repro.mapreduce.types import JobConf, JobTrace, TaskTrace
 from repro.utils.chunking import chunk_indices
 
+_POLL_INTERVAL = 0.002
 
-def _map_worker(args):
-    job, split = args
+
+def _attempt_worker(args):
+    """One task attempt, executed inside a pool worker (or inline).
+
+    Returns ``(records, task_counters, checksum, wall_seconds)``.  The
+    checksum is computed *before* any injected corruption — it models the
+    producer-side IFile checksum that travels with the data; the driver
+    recomputes it on receipt.  ``inline_deadline`` is only set on the
+    single-worker path, where a hung attempt cannot be abandoned from
+    outside and must give up by itself.
+    """
+    job, kind, index, attempt, payload, plan, task_id, inline_deadline = args
+    fault = plan.fault_for(job.name, kind, index, attempt) if plan is not None else None
+    t0 = time.perf_counter()
+    if fault is not None and fault.kind == "crash":
+        raise FaultError(
+            fault.reason or "injected crash", task_id=task_id, attempt=attempt
+        )
+    if fault is not None and fault.kind == "hang":
+        if inline_deadline is not None and fault.delay >= inline_deadline:
+            raise FaultError(
+                f"attempt abandoned at task_timeout={inline_deadline}s "
+                f"(hang of {fault.delay}s)",
+                task_id=task_id,
+                attempt=attempt,
+            )
+        time.sleep(fault.delay)
+    if kind == "map":
+        out, task_counters = _map_body(job, payload)
+    else:
+        out, task_counters = _reduce_body(job, payload)
+    checksum = records_checksum(out) if plan is not None else None
+    if fault is not None and fault.kind == "corrupt":
+        out = FaultPlan.corrupt_records(out, task_id)
+    wall = time.perf_counter() - t0
+    return out, task_counters, checksum, wall
+
+
+def _map_body(job: MapReduceJob, split) -> tuple[list, Counters]:
     counters = Counters()
     out = []
     for key, value in split:
@@ -40,8 +105,7 @@ def _map_worker(args):
     return out, counters
 
 
-def _reduce_worker(args):
-    job, groups = args
+def _reduce_body(job: MapReduceJob, groups) -> tuple[list, Counters]:
     counters = Counters()
     out = []
     for key, values in groups:
@@ -57,28 +121,81 @@ def _reduce_worker(args):
     return out, counters
 
 
-class MultiprocessRunner:
-    """Run map and reduce tasks on a local process pool."""
+@dataclass
+class _Attempt:
+    """One in-flight attempt of a task on the pool."""
 
-    def __init__(self, num_workers: int | None = None):
+    index: int
+    number: int  # 1-based attempt number
+    result: object  # AsyncResult
+    started: float
+    speculative: bool = False
+    abandoned: bool = False
+
+
+@dataclass
+class _TaskState:
+    """Driver-side bookkeeping for one task of a phase."""
+
+    index: int
+    task_id: str
+    payload: object
+    records_in: int
+    attempts_launched: int = 0
+    failures: list[str] = field(default_factory=list)
+    done: bool = False
+    recovered: bool = False
+    speculative_win: bool = False
+    output: list = None
+    counters: Counters = None
+    wall: float = 0.0
+
+
+class MultiprocessRunner:
+    """Run map and reduce tasks on a local process pool with retries.
+
+    ``trace=True`` records a :class:`~repro.mapreduce.types.JobTrace` with
+    driver-measured wall times and full attempt history (off by default:
+    the serial runner remains the calibrated trace source for the cluster
+    simulator).  ``fault_plan``, ``checkpoint`` and ``retry`` mirror
+    :class:`~repro.mapreduce.runner.SerialRunner`.
+    """
+
+    def __init__(
+        self,
+        num_workers: int | None = None,
+        *,
+        trace: bool = False,
+        fault_plan: FaultPlan | None = None,
+        checkpoint: JobCheckpoint | None = None,
+        retry: RetryPolicy | None = None,
+    ):
         if num_workers is not None and num_workers < 1:
             raise MapReduceError(f"num_workers must be >= 1, got {num_workers}")
         self.num_workers = num_workers or max(1, os.cpu_count() or 1)
+        self.trace = trace
+        self.fault_plan = fault_plan
+        self.checkpoint = checkpoint
+        self.retry = retry
 
     def run(
         self,
         job: MapReduceJob,
         inputs: Sequence[tuple],
         conf: JobConf | None = None,
+        *,
+        fault_plan: FaultPlan | None = None,
+        checkpoint: JobCheckpoint | None = None,
+        retry: RetryPolicy | None = None,
     ) -> JobResult:
         """Execute ``job`` over ``inputs`` with process-level parallelism."""
         conf = conf or JobConf()
+        plan = fault_plan if fault_plan is not None else self.fault_plan
+        ckpt = checkpoint if checkpoint is not None else self.checkpoint
+        policy = retry or self.retry or RetryPolicy.from_conf(conf)
         counters = Counters()
+        trace = JobTrace(job_name=job.name) if self.trace else None
 
-        splits = [
-            list(inputs[start:stop])
-            for start, stop in chunk_indices(len(inputs), conf.num_map_tasks)
-        ]
         # Effective combiner honours the conf flag.
         effective = job
         if not conf.use_combiner and job.combiner is not None:
@@ -90,43 +207,405 @@ class MultiprocessRunner:
                 partitioner=job.partitioner,
             )
 
-        if self.num_workers == 1:
-            map_results = [_map_worker((effective, s)) for s in splits]
-        else:
+        pool = None
+        if self.num_workers > 1:
+            effective.ensure_picklable()
             ctx = get_context("spawn" if os.name == "nt" else "fork")
-            with ctx.Pool(self.num_workers) as pool:
-                map_results = pool.map(_map_worker, [(effective, s) for s in splits])
+            pool = ctx.Pool(self.num_workers)
+        try:
+            if plan is not None:
+                plan.trigger_barrier("job_start", counters)
 
-        map_outputs = []
-        for out, task_counters in map_results:
-            map_outputs.append(out)
-            counters.merge(task_counters)
-        counters.increment("job", "map_input_records", len(inputs))
-        counters.increment(
-            "job", "map_output_records", sum(len(o) for o in map_outputs)
-        )
+            splits = [
+                list(inputs[start:stop])
+                for start, stop in chunk_indices(len(inputs), conf.num_map_tasks)
+            ]
+            map_states = self._run_phase(
+                pool,
+                effective,
+                kind="map",
+                payloads=splits,
+                records_in=[len(s) for s in splits],
+                policy=policy,
+                plan=plan,
+                checkpoint=ckpt,
+                counters=counters,
+            )
+            map_outputs = [s.output for s in map_states]
+            for state in map_states:
+                counters.merge(state.counters)
+                if trace is not None:
+                    trace.map_tasks.append(self._task_trace(state, "map"))
+            counters.increment("job", "map_input_records", len(inputs))
+            counters.increment(
+                "job", "map_output_records", sum(len(o) for o in map_outputs)
+            )
 
-        partitions, moved = shuffle(map_outputs, conf.num_reduce_tasks, job.partitioner)
-        counters.increment("job", "shuffle_records", moved)
+            if plan is not None:
+                plan.trigger_barrier("map_end", counters)
 
-        if self.num_workers == 1:
-            reduce_results = [_reduce_worker((effective, p)) for p in partitions]
-        else:
-            ctx = get_context("spawn" if os.name == "nt" else "fork")
-            with ctx.Pool(self.num_workers) as pool:
-                reduce_results = pool.map(
-                    _reduce_worker, [(effective, p) for p in partitions]
-                )
+            partitions, moved = shuffle(
+                map_outputs, conf.num_reduce_tasks, job.partitioner
+            )
+            counters.increment("job", "shuffle_records", moved)
+            if trace is not None:
+                trace.shuffle_bytes = sum(_approx_bytes(p) for p in map_outputs)
 
-        output: list[tuple] = []
-        for out, task_counters in reduce_results:
-            output.extend(out)
-            counters.merge(task_counters)
-        counters.increment("job", "reduce_output_records", len(output))
+            reduce_states = self._run_phase(
+                pool,
+                effective,
+                kind="reduce",
+                payloads=partitions,
+                records_in=[sum(len(v) for _, v in p) for p in partitions],
+                policy=policy,
+                plan=plan,
+                checkpoint=ckpt,
+                counters=counters,
+            )
+            output: list[tuple] = []
+            for state in reduce_states:
+                counters.merge(state.counters)
+                if trace is not None:
+                    trace.reduce_tasks.append(self._task_trace(state, "reduce"))
+                output.extend(state.output)
+            counters.increment("job", "reduce_output_records", len(output))
+
+            if plan is not None:
+                plan.trigger_barrier("job_end", counters)
+        finally:
+            if pool is not None:
+                pool.terminate()
+                pool.join()
 
         if conf.sort_output:
             try:
                 output.sort(key=lambda kv: kv[0])
             except TypeError:
                 output.sort(key=lambda kv: (type(kv[0]).__name__, repr(kv[0])))
-        return JobResult(output=output, counters=counters, trace=None)
+        return JobResult(output=output, counters=counters, trace=trace)
+
+    # ---- phase execution ---------------------------------------------------
+
+    def _run_phase(
+        self,
+        pool,
+        job: MapReduceJob,
+        *,
+        kind: str,
+        payloads: Sequence[object],
+        records_in: Sequence[int],
+        policy: RetryPolicy,
+        plan: FaultPlan | None,
+        checkpoint: JobCheckpoint | None,
+        counters: Counters,
+    ) -> list[_TaskState]:
+        tag = "m" if kind == "map" else "r"
+        states = [
+            _TaskState(
+                index=i,
+                task_id=f"{job.name}-{tag}{i:04d}",
+                payload=payload,
+                records_in=records_in[i],
+            )
+            for i, payload in enumerate(payloads)
+        ]
+
+        pending: list[_TaskState] = []
+        for state in states:
+            if checkpoint is not None and checkpoint.has(state.task_id):
+                payload = checkpoint.load(state.task_id)
+                state.output = payload["output"]
+                state.counters = payload["counters"]
+                saved: TaskTrace = payload["trace"]
+                state.wall = saved.cpu_seconds
+                state.attempts_launched = saved.attempts
+                state.failures = list(saved.failures)
+                state.speculative_win = saved.speculative_win
+                state.done = True
+                state.recovered = True
+                counters.increment("fault", "tasks_recovered_from_checkpoint")
+                if plan is not None:
+                    plan.note_task_complete()
+            else:
+                pending.append(state)
+
+        if pool is None:
+            self._run_phase_inline(
+                job,
+                kind,
+                pending,
+                policy=policy,
+                plan=plan,
+                counters=counters,
+            )
+        else:
+            self._run_phase_pool(
+                pool,
+                job,
+                kind,
+                pending,
+                policy=policy,
+                plan=plan,
+                counters=counters,
+            )
+
+        for state in pending:
+            if checkpoint is not None:
+                checkpoint.save(
+                    state.task_id,
+                    {
+                        "output": state.output,
+                        "counters": state.counters,
+                        "trace": self._task_trace(state, kind),
+                    },
+                )
+            if plan is not None:
+                plan.note_task_complete()
+        return states
+
+    def _run_phase_inline(
+        self,
+        job: MapReduceJob,
+        kind: str,
+        pending: list[_TaskState],
+        *,
+        policy: RetryPolicy,
+        plan: FaultPlan | None,
+        counters: Counters,
+    ) -> None:
+        """Single-worker degradation: serial attempt loop, same semantics."""
+        for state in pending:
+            speculative_retry = False
+            while True:
+                state.attempts_launched += 1
+                attempt = state.attempts_launched
+                try:
+                    out, task_counters, checksum, wall = _attempt_worker(
+                        (
+                            job,
+                            kind,
+                            state.index,
+                            attempt,
+                            state.payload,
+                            plan,
+                            state.task_id,
+                            policy.timeout,
+                        )
+                    )
+                    self._verify_checksum(out, checksum, state.task_id, attempt)
+                except FaultError as exc:
+                    self._note_failure(state, str(exc), policy, counters, exc)
+                except Exception as exc:
+                    if policy.max_attempts == 1:
+                        raise
+                    self._note_failure(
+                        state, f"{type(exc).__name__}: {exc}", policy, counters, exc
+                    )
+                else:
+                    state.output = out
+                    state.counters = task_counters
+                    state.wall = wall
+                    state.done = True
+                    if speculative_retry:
+                        state.speculative_win = True
+                        counters.increment("fault", "speculative_wins")
+                    break
+                speculative_retry = policy.speculative_margin > 0
+                delay = policy.backoff_delay(attempt)
+                if delay > 0:
+                    time.sleep(delay)
+
+    def _run_phase_pool(
+        self,
+        pool,
+        job: MapReduceJob,
+        kind: str,
+        pending: list[_TaskState],
+        *,
+        policy: RetryPolicy,
+        plan: FaultPlan | None,
+        counters: Counters,
+    ) -> None:
+        """Asynchronous attempt scheduling with timeouts and speculation."""
+        by_index = {s.index: s for s in pending}
+        active: list[_Attempt] = []
+        next_backoff_at: dict[int, float] = {}
+        completed_durations: list[float] = []
+
+        def submit(state: _TaskState, *, speculative: bool) -> None:
+            state.attempts_launched += 1
+            attempt_no = state.attempts_launched
+            args = (
+                job,
+                kind,
+                state.index,
+                attempt_no,
+                state.payload,
+                plan,
+                state.task_id,
+                None,
+            )
+            active.append(
+                _Attempt(
+                    index=state.index,
+                    number=attempt_no,
+                    result=pool.apply_async(_attempt_worker, (args,)),
+                    started=time.monotonic(),
+                    speculative=speculative,
+                )
+            )
+
+        for state in pending:
+            submit(state, speculative=False)
+
+        remaining = len(pending)
+        while remaining > 0:
+            progressed = False
+            now = time.monotonic()
+            for att in list(active):
+                state = by_index[att.index]
+                if att.result.ready():
+                    active.remove(att)
+                    progressed = True
+                    if state.done or att.abandoned:
+                        continue  # loser of a race / killed attempt: discard
+                    try:
+                        out, task_counters, checksum, wall = att.result.get()
+                        self._verify_checksum(
+                            out, checksum, state.task_id, att.number
+                        )
+                    except FaultError as exc:
+                        self._handle_pool_failure(
+                            state, str(exc), policy, counters, exc, active,
+                            next_backoff_at,
+                        )
+                    except Exception as exc:
+                        if policy.max_attempts == 1:
+                            raise
+                        self._handle_pool_failure(
+                            state,
+                            f"{type(exc).__name__}: {exc}",
+                            policy,
+                            counters,
+                            exc,
+                            active,
+                            next_backoff_at,
+                        )
+                    else:
+                        state.output = out
+                        state.counters = task_counters
+                        state.wall = wall
+                        state.done = True
+                        remaining -= 1
+                        completed_durations.append(wall)
+                        if att.speculative:
+                            state.speculative_win = True
+                            counters.increment("fault", "speculative_wins")
+                    continue
+                if state.done or att.abandoned:
+                    continue
+                runtime = now - att.started
+                if policy.timeout is not None and runtime > policy.timeout:
+                    # Abandon: the in-flight result will be discarded on
+                    # arrival (the analogue of killing the attempt).
+                    att.abandoned = True
+                    progressed = True
+                    self._handle_pool_failure(
+                        state,
+                        f"attempt abandoned after task_timeout={policy.timeout}s",
+                        policy,
+                        counters,
+                        None,
+                        active,
+                        next_backoff_at,
+                    )
+                    continue
+                if (
+                    policy.speculative_margin > 0
+                    and completed_durations
+                    and state.attempts_launched < policy.max_attempts
+                    and sum(
+                        1
+                        for a in active
+                        if a.index == att.index and not a.abandoned
+                    )
+                    < 2
+                    and runtime
+                    > policy.speculative_margin * _median(completed_durations)
+                ):
+                    submit(state, speculative=True)
+                    counters.increment("fault", "speculative_attempts")
+                    progressed = True
+
+            # Launch retries whose backoff has elapsed.
+            for index, when in list(next_backoff_at.items()):
+                if now >= when:
+                    del next_backoff_at[index]
+                    submit(by_index[index], speculative=False)
+                    progressed = True
+
+            if not progressed:
+                time.sleep(_POLL_INTERVAL)
+
+    @staticmethod
+    def _note_failure(
+        state: _TaskState,
+        reason: str,
+        policy: RetryPolicy,
+        counters: Counters,
+        cause: Exception | None,
+    ) -> None:
+        """Inline-path failure accounting (mirrors the serial runner)."""
+        state.failures.append(reason)
+        counters.increment("fault", "attempts_failed")
+        if state.attempts_launched >= policy.max_attempts:
+            raise TaskFailedError(state.task_id, state.failures) from cause
+        counters.increment("fault", "task_retries")
+
+    def _handle_pool_failure(
+        self,
+        state: _TaskState,
+        reason: str,
+        policy: RetryPolicy,
+        counters: Counters,
+        cause: Exception | None,
+        active: list[_Attempt],
+        next_backoff_at: dict[int, float],
+    ) -> None:
+        state.failures.append(reason)
+        counters.increment("fault", "attempts_failed")
+        has_live_attempt = any(
+            a.index == state.index and not a.abandoned for a in active
+        )
+        if state.attempts_launched >= policy.max_attempts and not has_live_attempt:
+            raise TaskFailedError(state.task_id, state.failures) from cause
+        if state.attempts_launched < policy.max_attempts and not has_live_attempt:
+            counters.increment("fault", "task_retries")
+            delay = policy.backoff_delay(state.attempts_launched)
+            next_backoff_at[state.index] = time.monotonic() + delay
+
+    @staticmethod
+    def _verify_checksum(out, checksum, task_id: str, attempt: int) -> None:
+        if checksum is None:
+            return
+        if records_checksum(out) != checksum:
+            raise FaultError(
+                "corrupted shuffle partition (checksum mismatch)",
+                task_id=task_id,
+                attempt=attempt,
+            )
+
+    @staticmethod
+    def _task_trace(state: _TaskState, kind: str) -> TaskTrace:
+        return TaskTrace(
+            task_id=state.task_id,
+            kind=kind,
+            records_in=state.records_in,
+            records_out=len(state.output),
+            bytes_out=_approx_bytes(state.output),
+            cpu_seconds=state.wall,
+            attempts=state.attempts_launched,
+            failures=list(state.failures),
+            speculative_win=state.speculative_win,
+            recovered=state.recovered,
+        )

@@ -5,19 +5,37 @@ pipeline in-process, measuring per-task CPU time and record counts into a
 :class:`~repro.mapreduce.types.JobTrace`.  Those traces are the input to
 the discrete-event cluster simulator (the real work is measured; only the
 distributed wall-clock is modeled — see DESIGN.md substitution #1).
+
+Execution is fault tolerant: each task runs inside an attempt loop driven
+by a :class:`~repro.mapreduce.faults.RetryPolicy` (derived from
+``JobConf`` unless overridden) — failed attempts are retried with
+exponential backoff, hung attempts are abandoned at the task deadline,
+stragglers get speculative backup attempts, and completed task outputs can
+be persisted to a :class:`~repro.mapreduce.faults.JobCheckpoint` so a
+killed job resumes from the last barrier.  A
+:class:`~repro.mapreduce.faults.FaultPlan` injects deterministic faults
+for chaos testing.  Attempt history lands in the trace and in the
+``fault`` counter group.
 """
 
 from __future__ import annotations
 
 import pickle
 import time
-from collections.abc import Sequence
+from collections import defaultdict
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
-from repro.errors import MapReduceError
+from repro.errors import FaultError, MapReduceError, TaskFailedError
 from repro.mapreduce.counters import Counters
+from repro.mapreduce.faults import (
+    FaultPlan,
+    JobCheckpoint,
+    RetryPolicy,
+    records_checksum,
+)
 from repro.mapreduce.job import MapReduceJob
-from repro.mapreduce.shuffle import shuffle, sort_grouped_keys  # noqa: F401 (sort_grouped_keys used by _combine)
+from repro.mapreduce.shuffle import shuffle
 from repro.mapreduce.types import JobConf, JobTrace, TaskTrace
 from repro.utils.chunking import chunk_indices
 
@@ -32,16 +50,31 @@ class JobResult:
 
 
 def _approx_bytes(records: Sequence[tuple]) -> int:
-    """Approximate serialized size of records (sampled for large inputs)."""
+    """Approximate serialized size of records (sampled for large inputs).
+
+    The sampling stride is exact (at most 64 evenly spaced records), so
+    equal inputs always produce equal byte estimates and traces stay
+    deterministic.  Only serialization failures are treated as "size
+    unknown"; anything else propagates.
+    """
     n = len(records)
     if n == 0:
         return 0
-    sample = records if n <= 64 else [records[i] for i in range(0, n, max(1, n // 64))]
+    stride = -(-n // 64)  # ceil(n / 64): at most 64 samples
+    sample = list(records[::stride]) if stride > 1 else list(records)
     try:
         per = sum(len(pickle.dumps(r, protocol=pickle.HIGHEST_PROTOCOL)) for r in sample)
-    except Exception:
+    except (pickle.PicklingError, TypeError, AttributeError):
         return 0
     return int(per / len(sample) * n)
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
 
 
 class SerialRunner:
@@ -49,50 +82,74 @@ class SerialRunner:
 
     ``trace=True`` (default) records task-level statistics; turn it off for
     micro-benchmarks where the byte-size sampling overhead matters.
+
+    ``fault_plan``, ``checkpoint`` and ``retry`` set instance-wide defaults
+    so callers that only hand a runner to a pipeline (e.g.
+    :class:`~repro.cluster.pipeline.MrMCMinH`) still get fault-tolerant
+    execution; per-call keyword arguments to :meth:`run` override them.
     """
 
-    def __init__(self, *, trace: bool = True):
+    def __init__(
+        self,
+        *,
+        trace: bool = True,
+        fault_plan: FaultPlan | None = None,
+        checkpoint: JobCheckpoint | None = None,
+        retry: RetryPolicy | None = None,
+    ):
         self.trace = trace
+        self.fault_plan = fault_plan
+        self.checkpoint = checkpoint
+        self.retry = retry
 
     def run(
         self,
         job: MapReduceJob,
         inputs: Sequence[tuple],
         conf: JobConf | None = None,
+        *,
+        fault_plan: FaultPlan | None = None,
+        checkpoint: JobCheckpoint | None = None,
+        retry: RetryPolicy | None = None,
     ) -> JobResult:
         """Execute ``job`` over ``inputs`` (a sequence of key/value pairs)."""
         conf = conf or JobConf()
+        plan = fault_plan if fault_plan is not None else self.fault_plan
+        ckpt = checkpoint if checkpoint is not None else self.checkpoint
+        policy = retry or self.retry or RetryPolicy.from_conf(conf)
         counters = Counters()
         trace = JobTrace(job_name=job.name) if self.trace else None
 
+        if plan is not None:
+            plan.trigger_barrier("job_start", counters)
+
         # ---- map phase, split into conf.num_map_tasks tasks -------------
         map_outputs: list[list[tuple]] = []
+        map_durations: list[float] = []
         for t, (start, stop) in enumerate(chunk_indices(len(inputs), conf.num_map_tasks)):
             split = inputs[start:stop]
-            t0 = time.perf_counter()
-            out: list[tuple] = []
-            for key, value in split:
-                emitted = job.run_mapper(key, value, counters)
-                if emitted is not None:
-                    out.extend(self._validated(emitted, job.name, "mapper"))
-            if conf.use_combiner and job.combiner is not None:
-                out = self._combine(job, out)
-            elapsed = time.perf_counter() - t0
+            task_trace, out = self._execute_task(
+                job=job,
+                kind="map",
+                index=t,
+                task_id=f"{job.name}-m{t:04d}",
+                body=lambda split=split: self._map_split(job, split, conf),
+                records_in=len(split),
+                bytes_in=_approx_bytes(split) if self.trace else 0,
+                policy=policy,
+                plan=plan,
+                checkpoint=ckpt,
+                counters=counters,
+                completed_durations=map_durations,
+            )
             counters.increment("job", "map_input_records", len(split))
             counters.increment("job", "map_output_records", len(out))
             if trace is not None:
-                trace.map_tasks.append(
-                    TaskTrace(
-                        task_id=f"{job.name}-m{t:04d}",
-                        kind="map",
-                        records_in=len(split),
-                        records_out=len(out),
-                        bytes_in=_approx_bytes(split),
-                        bytes_out=_approx_bytes(out),
-                        cpu_seconds=elapsed,
-                    )
-                )
+                trace.map_tasks.append(task_trace)
             map_outputs.append(out)
+
+        if plan is not None:
+            plan.trigger_barrier("map_end", counters)
 
         # ---- shuffle -----------------------------------------------------
         partitions, moved = shuffle(map_outputs, conf.num_reduce_tasks, job.partitioner)
@@ -102,29 +159,31 @@ class SerialRunner:
 
         # ---- reduce phase -------------------------------------------------
         output: list[tuple] = []
+        reduce_durations: list[float] = []
         for r, groups in enumerate(partitions):
-            t0 = time.perf_counter()
             records_in = sum(len(vals) for _, vals in groups)
-            out: list[tuple] = []
-            for key, values in groups:
-                emitted = job.run_reducer(key, values, counters)
-                if emitted is not None:
-                    out.extend(self._validated(emitted, job.name, "reducer"))
-            elapsed = time.perf_counter() - t0
+            task_trace, out = self._execute_task(
+                job=job,
+                kind="reduce",
+                index=r,
+                task_id=f"{job.name}-r{r:04d}",
+                body=lambda groups=groups: self._reduce_groups(job, groups),
+                records_in=records_in,
+                bytes_in=0,
+                policy=policy,
+                plan=plan,
+                checkpoint=ckpt,
+                counters=counters,
+                completed_durations=reduce_durations,
+            )
             counters.increment("job", "reduce_input_records", records_in)
             counters.increment("job", "reduce_output_records", len(out))
             if trace is not None:
-                trace.reduce_tasks.append(
-                    TaskTrace(
-                        task_id=f"{job.name}-r{r:04d}",
-                        kind="reduce",
-                        records_in=records_in,
-                        records_out=len(out),
-                        bytes_out=_approx_bytes(out),
-                        cpu_seconds=elapsed,
-                    )
-                )
+                trace.reduce_tasks.append(task_trace)
             output.extend(out)
+
+        if plan is not None:
+            plan.trigger_barrier("job_end", counters)
 
         if conf.sort_output:
             try:
@@ -141,7 +200,9 @@ class SerialRunner:
         """Run a pipeline of jobs, feeding each job's output to the next.
 
         Returns the final result and the traces of every stage (the unit
-        the cluster simulator schedules).
+        the cluster simulator schedules).  Instance-level fault plan and
+        checkpoint apply to every stage; task ids embed the job name, so
+        one checkpoint directory covers the whole chain.
         """
         if not jobs:
             raise MapReduceError("run_chain requires at least one job")
@@ -156,6 +217,238 @@ class SerialRunner:
         assert result is not None
         return result, traces
 
+    # ---- fault-tolerant task execution ------------------------------------
+
+    def _execute_task(
+        self,
+        *,
+        job: MapReduceJob,
+        kind: str,
+        index: int,
+        task_id: str,
+        body: Callable[[], tuple[list[tuple], Counters]],
+        records_in: int,
+        bytes_in: int,
+        policy: RetryPolicy,
+        plan: FaultPlan | None,
+        checkpoint: JobCheckpoint | None,
+        counters: Counters,
+        completed_durations: list[float],
+    ) -> tuple[TaskTrace, list[tuple]]:
+        """Run one task to completion: checkpoint recovery, attempt loop,
+        counter merging and trace assembly."""
+        if checkpoint is not None and checkpoint.has(task_id):
+            payload = checkpoint.load(task_id)
+            out = payload["output"]
+            counters.merge(payload["counters"])
+            counters.increment("fault", "tasks_recovered_from_checkpoint")
+            task_trace: TaskTrace = payload["trace"]
+            task_trace.recovered = True
+            if plan is not None:
+                plan.note_task_complete()
+            return task_trace, out
+
+        out, task_counters, elapsed, attempts, failures, spec_win = self._run_attempts(
+            job=job,
+            kind=kind,
+            index=index,
+            task_id=task_id,
+            body=body,
+            policy=policy,
+            plan=plan,
+            counters=counters,
+            completed_durations=completed_durations,
+        )
+        completed_durations.append(elapsed)
+        counters.merge(task_counters)
+        task_trace = TaskTrace(
+            task_id=task_id,
+            kind=kind,
+            records_in=records_in,
+            records_out=len(out),
+            bytes_in=bytes_in,
+            bytes_out=_approx_bytes(out) if self.trace else 0,
+            cpu_seconds=elapsed,
+            attempts=attempts,
+            failures=failures,
+            speculative_win=spec_win,
+        )
+        if checkpoint is not None:
+            checkpoint.save(
+                task_id,
+                {"output": out, "counters": task_counters, "trace": task_trace},
+            )
+        if plan is not None:
+            plan.note_task_complete()
+        return task_trace, out
+
+    def _run_attempts(
+        self,
+        *,
+        job: MapReduceJob,
+        kind: str,
+        index: int,
+        task_id: str,
+        body: Callable[[], tuple[list[tuple], Counters]],
+        policy: RetryPolicy,
+        plan: FaultPlan | None,
+        counters: Counters,
+        completed_durations: list[float],
+    ) -> tuple[list[tuple], Counters, float, int, list[str], bool]:
+        """The per-task attempt loop.
+
+        Failed attempts are recorded (reason strings) and retried with
+        exponential backoff up to ``policy.max_attempts``; the winning
+        attempt's output and counters are the only ones that count
+        (failed attempts' counter increments are discarded — exactly-once
+        side effects, like Hadoop's committed task outputs).
+        """
+        failures: list[str] = []
+        speculative_attempt = False  # next attempt is a speculative backup
+        spec_win = False
+        attempt = 0
+        while True:
+            attempt += 1
+            fault = plan.fault_for(job.name, kind, index, attempt) if plan else None
+            try:
+                if fault is not None and fault.kind == "crash":
+                    raise FaultError(
+                        fault.reason or "injected crash",
+                        task_id=task_id,
+                        attempt=attempt,
+                    )
+                if fault is not None and fault.kind == "hang":
+                    self._handle_hang(
+                        fault, policy, task_id, attempt, completed_durations
+                    )
+                t0 = time.perf_counter()
+                out, task_counters = body()
+                elapsed = time.perf_counter() - t0
+                if fault is not None and fault.kind == "corrupt":
+                    # Checksum at production; corruption strikes in transit;
+                    # the runner verifies on receipt (IFile-checksum model).
+                    produced_crc = records_checksum(out)
+                    delivered = FaultPlan.corrupt_records(out, task_id)
+                    if records_checksum(delivered) != produced_crc:
+                        raise FaultError(
+                            "corrupted shuffle partition (checksum mismatch)",
+                            task_id=task_id,
+                            attempt=attempt,
+                        )
+                    out = delivered  # pragma: no cover - corruption always detected
+                if speculative_attempt:
+                    spec_win = True
+                    counters.increment("fault", "speculative_wins")
+                return out, task_counters, elapsed, attempt, failures, spec_win
+            except FaultError as exc:
+                speculative_attempt = getattr(exc, "speculative", False)
+                self._record_failure(
+                    counters, failures, str(exc), task_id, attempt, policy, exc
+                )
+            except Exception as exc:
+                if policy.max_attempts == 1:
+                    raise  # no retries configured: propagate user errors as-is
+                speculative_attempt = False
+                self._record_failure(
+                    counters,
+                    failures,
+                    f"{type(exc).__name__}: {exc}",
+                    task_id,
+                    attempt,
+                    policy,
+                    exc,
+                )
+            delay = policy.backoff_delay(attempt)
+            if delay > 0:
+                time.sleep(delay)
+
+    @staticmethod
+    def _record_failure(
+        counters: Counters,
+        failures: list[str],
+        reason: str,
+        task_id: str,
+        attempt: int,
+        policy: RetryPolicy,
+        cause: Exception,
+    ) -> None:
+        failures.append(reason)
+        counters.increment("fault", "attempts_failed")
+        if attempt >= policy.max_attempts:
+            raise TaskFailedError(task_id, failures) from cause
+        counters.increment("fault", "task_retries")
+
+    @staticmethod
+    def _handle_hang(
+        fault,
+        policy: RetryPolicy,
+        task_id: str,
+        attempt: int,
+        completed_durations: list[float],
+    ) -> None:
+        """Serial model of a hung attempt.
+
+        A hang whose delay crosses the task deadline (``task_timeout``) is
+        abandoned; one that crosses the speculation threshold
+        (``speculative_margin x median completed duration``) is abandoned in
+        favour of a backup attempt — the serial backend runs the backup
+        *after* abandoning the original (it has one thread), so "backup
+        wins" is recorded on the retry.  The multiprocess runner races real
+        concurrent attempts.  Hangs below both thresholds simply sleep: a
+        slow task, not a failure.
+        """
+        spec_deadline = None
+        if policy.speculative_margin > 0 and completed_durations:
+            spec_deadline = policy.speculative_margin * _median(completed_durations)
+        if policy.timeout is not None and fault.delay >= policy.timeout:
+            exc = FaultError(
+                f"attempt abandoned at task_timeout={policy.timeout}s "
+                f"(hang of {fault.delay}s)",
+                task_id=task_id,
+                attempt=attempt,
+            )
+            exc.speculative = policy.speculative_margin > 0
+            raise exc
+        if spec_deadline is not None and fault.delay >= spec_deadline:
+            exc = FaultError(
+                f"straggler: hang of {fault.delay}s exceeds "
+                f"{policy.speculative_margin}x median "
+                f"({_median(completed_durations):.6f}s); speculative backup launched",
+                task_id=task_id,
+                attempt=attempt,
+            )
+            exc.speculative = True
+            raise exc
+        time.sleep(fault.delay)
+
+    # ---- task bodies ------------------------------------------------------
+
+    def _map_split(
+        self, job: MapReduceJob, split: Sequence[tuple], conf: JobConf
+    ) -> tuple[list[tuple], Counters]:
+        """One clean map attempt over a split (fresh counters per attempt)."""
+        task_counters = Counters()
+        out: list[tuple] = []
+        for key, value in split:
+            emitted = job.run_mapper(key, value, task_counters)
+            if emitted is not None:
+                out.extend(self._validated(emitted, job.name, "mapper"))
+        if conf.use_combiner and job.combiner is not None:
+            out = self._combine(job, out)
+        return out, task_counters
+
+    def _reduce_groups(
+        self, job: MapReduceJob, groups: Sequence[tuple[object, list]]
+    ) -> tuple[list[tuple], Counters]:
+        """One clean reduce attempt over a partition's grouped keys."""
+        task_counters = Counters()
+        out: list[tuple] = []
+        for key, values in groups:
+            emitted = job.run_reducer(key, values, task_counters)
+            if emitted is not None:
+                out.extend(self._validated(emitted, job.name, "reducer"))
+        return out, task_counters
+
     @staticmethod
     def _validated(emitted, job_name: str, stage: str):
         for pair in emitted:
@@ -168,7 +461,7 @@ class SerialRunner:
 
     @staticmethod
     def _combine(job: MapReduceJob, pairs: list[tuple]) -> list[tuple]:
-        from collections import defaultdict
+        from repro.mapreduce.shuffle import sort_grouped_keys
 
         grouped: dict[object, list] = defaultdict(list)
         for key, value in pairs:

@@ -29,7 +29,22 @@ from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
 from repro.mapreduce.costmodel import HadoopCostModel, M1_LARGE_COST_MODEL
-from repro.mapreduce.types import JobTrace
+from repro.mapreduce.types import JobTrace, TaskTrace
+
+
+def _attempt_factor(task: TaskTrace) -> float:
+    """Duration multiplier for a task's measured attempt history.
+
+    Retried attempts re-execute serially on the cluster (each failed
+    attempt burns a slot before the retry starts), so a task with ``k``
+    attempts costs ``k``x its clean duration — except when a speculative
+    backup won: the attempts overlapped, and the task finishes at the
+    winner's time (1x).
+    """
+    attempts = getattr(task, "attempts", 1)
+    if attempts <= 1 or getattr(task, "speculative_win", False):
+        return 1.0
+    return float(attempts)
 
 
 @dataclass(frozen=True)
@@ -99,6 +114,11 @@ class JobSimReport:
     map_waves: int
     locality_fraction: float
     speculative_attempts: int = 0
+    # Measured fault-tolerance behaviour carried in from the trace, so the
+    # simulator's modeled speculation can be validated against what the
+    # real runners actually did.
+    retried_tasks: int = 0
+    measured_speculative_wins: int = 0
 
     @property
     def total_s(self) -> float:
@@ -204,7 +224,7 @@ class ClusterSimulator:
             is_local = (not block_locality) or (node in local_nodes[task_index])
             if is_local:
                 local_hits += 1
-            base = model.task_duration(task, local=is_local)
+            base = model.task_duration(task, local=is_local) * _attempt_factor(task)
             end = free_time + base * speed[node]
             if (
                 spec.speculative_execution
@@ -249,11 +269,16 @@ class ClusterSimulator:
         reduce_end = 0.0
         for task in trace.reduce_tasks:
             free_time, serial, node = rpool.acquire()
-            duration = model.task_duration(task, local=True) * speed[node]
+            duration = (
+                model.task_duration(task, local=True)
+                * _attempt_factor(task)
+                * speed[node]
+            )
             end = free_time + duration
             reduce_end = max(reduce_end, end)
             rpool.release(end, serial, node)
 
+        all_tasks = list(trace.map_tasks) + list(trace.reduce_tasks)
         return JobSimReport(
             job_name=trace.job_name,
             startup_s=model.job_startup_s,
@@ -263,6 +288,12 @@ class ClusterSimulator:
             map_waves=map_waves,
             locality_fraction=(local_hits / scheduled) if scheduled else 1.0,
             speculative_attempts=speculated,
+            retried_tasks=sum(
+                1 for t in all_tasks if getattr(t, "attempts", 1) > 1
+            ),
+            measured_speculative_wins=sum(
+                1 for t in all_tasks if getattr(t, "speculative_win", False)
+            ),
         )
 
     def simulate_pipeline(

@@ -43,12 +43,31 @@ class JobConf:
     sort_output:
         Sort the final output by key (Hadoop guarantees per-reducer key
         order; sorting globally makes the serial runner deterministic).
+    max_task_attempts:
+        How many times a failing task attempt is retried before the whole
+        job fails (Hadoop's ``mapred.map.max.attempts``; 1 = no retries).
+    task_timeout:
+        Wall-clock deadline per attempt in seconds; attempts exceeding it
+        are abandoned and retried (``mapred.task.timeout``).  ``None``
+        disables the deadline.
+    speculative_margin:
+        Straggler multiplier: a running task whose runtime exceeds
+        ``margin x median(completed task durations)`` gets a speculative
+        backup attempt; the first result wins and the loser's output is
+        discarded.  ``0`` disables speculation.
+    retry_backoff:
+        Base of the exponential backoff slept between attempts
+        (``backoff * 2**(attempt-1)`` seconds); 0 retries immediately.
     """
 
     num_map_tasks: int = 1
     num_reduce_tasks: int = 1
     use_combiner: bool = True
     sort_output: bool = True
+    max_task_attempts: int = 1
+    task_timeout: float | None = None
+    speculative_margin: float = 0.0
+    retry_backoff: float = 0.0
 
     def __post_init__(self) -> None:
         if self.num_map_tasks < 1:
@@ -58,6 +77,22 @@ class JobConf:
         if self.num_reduce_tasks < 1:
             raise MapReduceError(
                 f"num_reduce_tasks must be >= 1, got {self.num_reduce_tasks}"
+            )
+        if self.max_task_attempts < 1:
+            raise MapReduceError(
+                f"max_task_attempts must be >= 1, got {self.max_task_attempts}"
+            )
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise MapReduceError(
+                f"task_timeout must be positive, got {self.task_timeout}"
+            )
+        if self.speculative_margin < 0:
+            raise MapReduceError(
+                f"speculative_margin must be >= 0, got {self.speculative_margin}"
+            )
+        if self.retry_backoff < 0:
+            raise MapReduceError(
+                f"retry_backoff must be >= 0, got {self.retry_backoff}"
             )
 
 
@@ -77,6 +112,16 @@ class TaskTrace:
     bytes_in: int = 0
     bytes_out: int = 0
     cpu_seconds: float = 0.0
+    # ---- attempt history (fault-tolerant execution) ----------------------
+    attempts: int = 1  # attempts launched, including the winner
+    failures: list[str] = field(default_factory=list)  # one reason per failed attempt
+    speculative_win: bool = False  # a speculative backup attempt won
+    recovered: bool = False  # output restored from a JobCheckpoint
+
+    @property
+    def retries(self) -> int:
+        """Failed attempts that were re-executed."""
+        return len(self.failures)
 
 
 @dataclass
@@ -95,3 +140,27 @@ class JobTrace:
     @property
     def total_reduce_records(self) -> int:
         return sum(t.records_in for t in self.reduce_tasks)
+
+    @property
+    def all_tasks(self) -> list[TaskTrace]:
+        return self.map_tasks + self.reduce_tasks
+
+    @property
+    def total_attempts(self) -> int:
+        """Attempts launched across all tasks (>= task count)."""
+        return sum(t.attempts for t in self.all_tasks)
+
+    @property
+    def total_retries(self) -> int:
+        """Failed attempts recorded across all tasks."""
+        return sum(t.retries for t in self.all_tasks)
+
+    @property
+    def speculative_wins(self) -> int:
+        """Tasks whose speculative backup attempt finished first."""
+        return sum(1 for t in self.all_tasks if t.speculative_win)
+
+    @property
+    def recovered_tasks(self) -> int:
+        """Tasks restored from a checkpoint instead of re-executed."""
+        return sum(1 for t in self.all_tasks if t.recovered)

@@ -3,9 +3,11 @@
 import pytest
 
 from repro.errors import HdfsError, MapReduceError
+from repro.mapreduce.faults import DatanodeKill, FaultPlan
 from repro.mapreduce.hdfs import SimulatedHDFS
 from repro.mapreduce.job import MapReduceJob, identity_reducer
 from repro.mapreduce.runner import SerialRunner
+from repro.mapreduce.types import JobConf
 
 
 @pytest.fixture
@@ -107,3 +109,64 @@ class TestEngineFaults:
         job = MapReduceJob(name="j", mapper=mixed_mapper, reducer=identity_reducer)
         result = SerialRunner().run(job, [(i, i) for i in range(6)])
         assert len(result.output) == 6
+
+
+class _BlockReducer:
+    """Reducer that reads its HDFS block at reduce time — so datanodes
+    that die between the map and reduce phases matter to it."""
+
+    def __init__(self, hdfs, path):
+        self.hdfs = hdfs
+        self.path = path
+
+    def __call__(self, key, values):
+        yield key, len(self.hdfs.read_block(self.path, key))
+
+
+class TestDatanodeDiesMidJob:
+    """A datanode killed between map and reduce (the "map_end" barrier)."""
+
+    def make_job(self, hdfs):
+        hdfs.put("/blocks", bytes(range(64)))
+        job = MapReduceJob(
+            name="blockread",
+            mapper=lambda key, value: [(key, value)],
+            reducer=_BlockReducer(hdfs, "/blocks"),
+        )
+        num_blocks = hdfs.stat("/blocks").num_blocks
+        inputs = [(i, i) for i in range(num_blocks)]
+        return job, inputs
+
+    def test_job_completes_via_rereplication(self):
+        fs = SimulatedHDFS(num_datanodes=4, block_size=16, replication=2, seed=0)
+        job, inputs = self.make_job(fs)
+        # Kill BOTH nodes holding block 0's replicas — only the
+        # re-replication after the first kill keeps the block readable.
+        doomed = fs.stat("/blocks").blocks[0].replicas
+        plan = FaultPlan(
+            datanode_kills=[DatanodeKill("map_end", n) for n in doomed]
+        ).bind_hdfs(fs)
+        result = SerialRunner().run(
+            job, inputs, JobConf(num_map_tasks=2, num_reduce_tasks=2),
+            fault_plan=plan,
+        )
+        assert dict(result.output) == {i: 16 for i, _ in inputs}
+        assert result.counters.get("fault", "datanodes_killed") == 2
+        assert result.counters.get("fault", "replicas_recreated") > 0
+        assert sorted(fs.live_datanodes) == sorted(
+            set(range(4)) - set(doomed)
+        )
+
+    def test_job_fails_without_rereplication(self):
+        fs = SimulatedHDFS(num_datanodes=4, block_size=16, replication=2, seed=0)
+        job, inputs = self.make_job(fs)
+        doomed = fs.stat("/blocks").blocks[0].replicas
+        plan = FaultPlan(
+            datanode_kills=[DatanodeKill("map_end", n) for n in doomed],
+            auto_rereplicate=False,
+        ).bind_hdfs(fs)
+        with pytest.raises(HdfsError, match="replicas"):
+            SerialRunner().run(
+                job, inputs, JobConf(num_map_tasks=2, num_reduce_tasks=2),
+                fault_plan=plan,
+            )

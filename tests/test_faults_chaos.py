@@ -1,0 +1,98 @@
+"""End-to-end chaos acceptance: the greedy MrMC-MinH pipeline, run over
+simulated HDFS with seeded mapper crashes and a datanode killed mid-job,
+must write byte-identical cluster assignments to a fault-free run.
+
+The seed comes from ``CHAOS_SEED`` (default 0) so CI can sweep a matrix
+of seeds over the same test."""
+
+import os
+
+import pytest
+
+from repro.cluster.pipeline import MrMCMinH
+from repro.mapreduce.faults import DatanodeKill, FaultPlan, RetryPolicy
+from repro.mapreduce.hdfs import SimulatedHDFS
+from repro.mapreduce.runner import SerialRunner
+
+pytestmark = pytest.mark.chaos
+
+CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "0"))
+
+
+def make_hdfs():
+    # Small blocks: the staged FASTA spans ~7 blocks, one map task each.
+    return SimulatedHDFS(num_datanodes=4, block_size=256, replication=2, seed=0)
+
+
+def run_pipeline(records, runner=None, hdfs=None):
+    fs = hdfs or make_hdfs()
+    model = MrMCMinH(
+        kmer_size=5,
+        num_hashes=48,
+        threshold=0.78,
+        method="greedy",
+        seed=0,
+        runner=runner or SerialRunner(),
+    )
+    MrMCMinH.stage_records(fs, "/in.fasta", records)
+    run = model.fit_hdfs(fs, "/in.fasta", "/out.tsv")
+    return run, fs.get_text("/out.tsv")
+
+
+class TestEndToEndChaos:
+    def test_chaos_run_byte_identical_to_clean_run(self, two_family_records):
+        _clean_run, clean_tsv = run_pipeline(two_family_records)
+
+        chaos_fs = make_hdfs()
+        plan = FaultPlan(
+            seed=CHAOS_SEED,
+            mapper_crash_rate=0.2,
+            max_faulted_attempts=2,
+            datanode_kills=[DatanodeKill("map_end", 2)],
+        ).bind_hdfs(chaos_fs)
+        runner = SerialRunner(fault_plan=plan, retry=RetryPolicy(max_attempts=3))
+        chaos_run, chaos_tsv = run_pipeline(
+            two_family_records, runner=runner, hdfs=chaos_fs
+        )
+
+        # The one acceptance bit: chaos never changes the answer.
+        assert chaos_tsv == clean_tsv
+        assert chaos_tsv.count("\n") == len(two_family_records)
+
+        # The faults really happened and were really recovered.
+        assert chaos_run.counters.get("fault", "datanodes_killed") == 1
+        assert chaos_run.counters.get("fault", "replicas_recreated") > 0
+        assert not chaos_fs.datanode_alive(2)
+        retries = sum(t.total_retries for t in chaos_run.traces)
+        attempts = sum(t.total_attempts for t in chaos_run.traces)
+        assert retries > 0, "chaos plan injected no faults for this seed"
+        assert attempts > sum(len(t.all_tasks) for t in chaos_run.traces)
+        assert chaos_run.counters.get("fault", "task_retries") == retries
+
+    def test_chaos_run_is_reproducible(self, two_family_records):
+        def chaos_tsv_and_retries():
+            fs = make_hdfs()
+            plan = FaultPlan(
+                seed=CHAOS_SEED, mapper_crash_rate=0.2, max_faulted_attempts=2
+            ).bind_hdfs(fs)
+            runner = SerialRunner(
+                fault_plan=plan, retry=RetryPolicy(max_attempts=3)
+            )
+            run, tsv = run_pipeline(two_family_records, runner=runner, hdfs=fs)
+            return tsv, run.counters.get("fault", "task_retries")
+
+        first, second = chaos_tsv_and_retries(), chaos_tsv_and_retries()
+        assert first == second
+
+    def test_chaos_on_multiprocess_runner(self, two_family_records):
+        from repro.mapreduce.local import MultiprocessRunner
+
+        _clean_run, clean_tsv = run_pipeline(two_family_records)
+        plan = FaultPlan(
+            seed=CHAOS_SEED, mapper_crash_rate=0.2, max_faulted_attempts=2
+        )
+        runner = MultiprocessRunner(
+            num_workers=2, fault_plan=plan, retry=RetryPolicy(max_attempts=3)
+        )
+        _chaos_run, chaos_tsv = run_pipeline(two_family_records, runner=runner)
+        assert chaos_tsv == clean_tsv

@@ -1,0 +1,137 @@
+"""Property-based chaos tests: shuffle grouping/sorting invariants and
+final outputs must survive ANY single-task failure schedule, any seeded
+fault rates, and the serial/multiprocess runner choice."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapreduce.faults import Fault, FaultPlan, RetryPolicy
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.local import MultiprocessRunner
+from repro.mapreduce.runner import SerialRunner
+from repro.mapreduce.types import JobConf
+
+pytestmark = pytest.mark.chaos
+
+
+def tokenize(key, value):
+    for word in value.split():
+        yield word, 1
+
+
+def total(key, values):
+    yield key, sum(values)
+
+
+WORDCOUNT = MapReduceJob(name="wc", mapper=tokenize, reducer=total, combiner=total)
+
+docs = st.lists(
+    st.text(alphabet="ab c", min_size=0, max_size=30), min_size=1, max_size=12
+)
+
+# One injected failure somewhere in a 3-map/2-reduce job, on attempt 1 or 2
+# (max_attempts=3 always leaves a clean attempt to win).
+single_faults = st.builds(
+    lambda kind, phase, index, attempt: {
+        ("wc", phase, index, attempt): Fault(kind=kind)
+    },
+    kind=st.sampled_from(["crash", "corrupt"]),
+    phase=st.sampled_from(["map", "reduce"]),
+    index=st.integers(0, 2),
+    attempt=st.integers(1, 2),
+)
+
+CONF = JobConf(num_map_tasks=3, num_reduce_tasks=2)
+POLICY = RetryPolicy(max_attempts=3)
+
+
+class TestFaultProperties:
+    @given(docs, single_faults)
+    @settings(max_examples=60, deadline=None)
+    def test_any_single_task_failure_is_invisible(self, texts, schedule):
+        """Output (values AND order) equals the fault-free run no matter
+        which task attempt crashes or gets corrupted."""
+        inputs = list(enumerate(texts))
+        clean = SerialRunner(trace=False).run(WORDCOUNT, inputs, CONF)
+        chaotic = SerialRunner(trace=False).run(
+            WORDCOUNT, inputs, CONF,
+            fault_plan=FaultPlan(schedule=schedule), retry=POLICY,
+        )
+        assert chaotic.output == clean.output
+
+    @given(docs, single_faults)
+    @settings(max_examples=40, deadline=None)
+    def test_shuffle_invariants_survive_failures(self, texts, schedule):
+        """Grouping and sorting invariants hold under failure: output keys
+        are unique, sorted, and totals match the reference count."""
+        inputs = list(enumerate(texts))
+        result = SerialRunner(trace=False).run(
+            WORDCOUNT, inputs, CONF,
+            fault_plan=FaultPlan(schedule=schedule), retry=POLICY,
+        )
+        keys = [k for k, _ in result.output]
+        assert keys == sorted(keys)
+        assert len(keys) == len(set(keys))
+        assert dict(result.output) == dict(
+            Counter(w for t in texts for w in t.split())
+        )
+
+    @given(docs, st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_seeded_rate_chaos_is_invisible(self, texts, seed):
+        """Rate-driven chaos (capped so retries always converge) never
+        changes the answer, for any seed."""
+        inputs = list(enumerate(texts))
+        clean = SerialRunner(trace=False).run(WORDCOUNT, inputs, CONF)
+        plan = FaultPlan(
+            seed=seed,
+            mapper_crash_rate=0.4,
+            reducer_crash_rate=0.3,
+            corrupt_rate=0.3,
+            max_faulted_attempts=2,
+        )
+        chaotic = SerialRunner(trace=False).run(
+            WORDCOUNT, inputs, CONF, fault_plan=plan, retry=POLICY
+        )
+        assert chaotic.output == clean.output
+
+    @given(docs, st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_chaos_is_deterministic(self, texts, seed):
+        """The same plan replayed injects the same faults: two chaotic runs
+        agree on output AND attempt accounting."""
+        inputs = list(enumerate(texts))
+
+        def chaotic_run():
+            plan = FaultPlan(seed=seed, mapper_crash_rate=0.5, max_faulted_attempts=2)
+            return SerialRunner().run(
+                WORDCOUNT, inputs, CONF, fault_plan=plan, retry=POLICY
+            )
+
+        a, b = chaotic_run(), chaotic_run()
+        assert a.output == b.output
+        assert a.counters.get("fault", "task_retries") == b.counters.get(
+            "fault", "task_retries"
+        )
+        assert [t.attempts for t in a.trace.map_tasks] == [
+            t.attempts for t in b.trace.map_tasks
+        ]
+
+    @given(docs, st.integers(0, 100))
+    @settings(max_examples=10, deadline=None)
+    def test_serial_and_multiprocess_equivalent_under_chaos(self, texts, seed):
+        """Both backends recover to the same bytes under the same plan."""
+        inputs = list(enumerate(texts))
+        plan_args = dict(seed=seed, mapper_crash_rate=0.4, max_faulted_attempts=2)
+        serial = SerialRunner(trace=False).run(
+            WORDCOUNT, inputs, CONF,
+            fault_plan=FaultPlan(**plan_args), retry=POLICY,
+        )
+        parallel = MultiprocessRunner(num_workers=2).run(
+            WORDCOUNT, inputs, CONF,
+            fault_plan=FaultPlan(**plan_args), retry=POLICY,
+        )
+        assert serial.output == parallel.output
