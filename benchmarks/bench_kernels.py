@@ -14,7 +14,11 @@ from repro.datasets import generate_whole_metagenome_sample
 from repro.mapreduce.job import MapReduceJob, identity_mapper, identity_reducer
 from repro.mapreduce.runner import SerialRunner
 from repro.mapreduce.types import JobConf
-from repro.minhash.sketch import SketchingConfig, compute_sketches
+from repro.minhash.sketch import (
+    SketchingConfig,
+    compute_sketch,
+    compute_sketches,
+)
 from repro.minhash.similarity import pairwise_similarity_matrix
 
 
@@ -23,9 +27,22 @@ def _reads(n=200):
 
 
 def test_bench_sketching(benchmark):
+    """Production path: the vectorised batch kernel."""
     reads = _reads()
     config = SketchingConfig(kmer_size=5, num_hashes=100)
     sketches = benchmark(lambda: compute_sketches(reads, config))
+    assert len(sketches) == len(reads)
+
+
+def test_bench_sketching_reference_loop(benchmark):
+    """Per-record reference path — the baseline the batch kernel's >=5x
+    speedup gate (BENCH_*.json trajectory) is measured against."""
+    reads = _reads()
+    config = SketchingConfig(kmer_size=5, num_hashes=100)
+    family = config.make_family()
+    sketches = benchmark(
+        lambda: [compute_sketch(r, config, family) for r in reads]
+    )
     assert len(sketches) == len(reads)
 
 

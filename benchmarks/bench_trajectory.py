@@ -1,0 +1,347 @@
+"""Perf-trajectory harness: measure the hot paths, record them, gate them.
+
+Every perf-sensitive quantity the paper's scaling story depends on is
+measured here on one pinned workload (Table-III settings: k=5, n=100
+hashes, 200 whole-metagenome reads) and recorded as a ``BENCH_<date>.json``
+snapshot at the repo root.  Each metric carries its own regression policy
+(direction, relative tolerance, optional hard floor/ceiling, or exact
+match), so the snapshot *is* the gate: the comparator re-measures and
+fails when the trajectory goes backwards.
+
+Usage::
+
+    python benchmarks/bench_trajectory.py run             # write BENCH_<date>.json
+    python benchmarks/bench_trajectory.py check           # measure, compare vs newest committed snapshot
+    python benchmarks/bench_trajectory.py compare OLD NEW # compare two recorded snapshots
+
+``check`` exits non-zero on any regression; CI runs it against the
+checked-in baseline on every push (see .github/workflows/ci.yml).
+
+Timing tolerances are deliberately generous (CI machines are noisy and
+heterogeneous); the load-bearing gates are the machine-independent ones —
+the batch-vs-loop speedup floor, the wire-compression ceiling, the
+deterministic byte counts, and the exact cluster count.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+# Pinned workload: Table III whole-metagenome settings, scaled per
+# DESIGN.md substitution #4.  Changing any of these invalidates every
+# committed snapshot — bump them only together with a fresh baseline.
+WORKLOAD = {
+    "sample": "S1",
+    "num_reads": 200,
+    "genome_length": 5000,
+    "kmer_size": 5,
+    "num_hashes": 100,
+    "threshold": 0.9,
+    "wire_bits": 8,
+    "seed": 0,
+    "timing_rounds": 3,
+}
+
+SCHEMA_VERSION = 1
+
+
+def _best_of(rounds: int, fn) -> float:
+    """Best-of-N wall time for ``fn()``, in milliseconds."""
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best * 1000.0
+
+
+def collect(workload: dict | None = None) -> dict:
+    """Measure every trajectory metric on the pinned workload.
+
+    Returns the full snapshot document (schema, workload, metrics with
+    their regression policies attached).
+    """
+    from repro.cluster.pipeline import MrMCMinH
+    from repro.cluster.sparse import candidate_pair_arrays
+    from repro.datasets import generate_whole_metagenome_sample
+    from repro.minhash.sketch import (
+        SketchingConfig,
+        compute_sketch,
+        compute_sketches_batch,
+    )
+
+    w = dict(WORKLOAD)
+    if workload:
+        w.update(workload)
+    rounds = int(w["timing_rounds"])
+    reads = generate_whole_metagenome_sample(
+        w["sample"], num_reads=w["num_reads"], genome_length=w["genome_length"]
+    )
+    config = SketchingConfig(
+        kmer_size=w["kmer_size"], num_hashes=w["num_hashes"], seed=w["seed"]
+    )
+    family = config.make_family()
+
+    # -- sketching: per-record reference loop vs the batch kernel --------
+    def _loop():
+        return [compute_sketch(r, config, family) for r in reads]
+
+    def _batch():
+        return compute_sketches_batch(reads, config, family)
+
+    loop_ms = _best_of(rounds, _loop)
+    batch_ms = _best_of(rounds, _batch)
+    sketches = _batch()
+    if [s.values.tobytes() for s in sketches] != [
+        s.values.tobytes() for s in _loop()
+    ]:
+        raise AssertionError("batch kernel diverged from the reference loop")
+    speedup = loop_ms / batch_ms
+    reads_per_sec = len(reads) / (batch_ms / 1000.0)
+
+    # -- candidate generation (the sparse similarity join) ---------------
+    candidates_ms = _best_of(rounds, lambda: candidate_pair_arrays(sketches))
+
+    # -- shuffle bytes with the b-bit wire codec --------------------------
+    model = MrMCMinH(
+        kmer_size=w["kmer_size"],
+        num_hashes=w["num_hashes"],
+        threshold=w["threshold"],
+        method="greedy",
+        estimator="positional",
+        wire_bits=w["wire_bits"],
+    )
+    pipeline_ms = _best_of(rounds, lambda: model.fit(reads))
+    run = model.fit(reads)
+    wire = run.counters.as_dict()["wire"]
+    bytes_raw = wire["bytes_raw"]
+    bytes_wire = wire["bytes_wire"]
+
+    metrics = {
+        "sketch_loop_ms": {
+            "value": round(loop_ms, 3),
+            "unit": "ms",
+            "direction": "lower",
+            "tolerance": 3.0,
+        },
+        "sketch_batch_ms": {
+            "value": round(batch_ms, 3),
+            "unit": "ms",
+            "direction": "lower",
+            "tolerance": 3.0,
+        },
+        "sketch_batch_speedup": {
+            "value": round(speedup, 2),
+            "unit": "x",
+            "direction": "higher",
+            "tolerance": 0.4,
+            "floor": 5.0,
+        },
+        "sketch_reads_per_sec": {
+            "value": round(reads_per_sec, 1),
+            "unit": "reads/s",
+            "direction": "higher",
+            "tolerance": 0.75,
+        },
+        "candidate_pairs_ms": {
+            "value": round(candidates_ms, 3),
+            "unit": "ms",
+            "direction": "lower",
+            "tolerance": 3.0,
+        },
+        "shuffle_bytes_raw": {
+            "value": bytes_raw,
+            "unit": "bytes",
+            "direction": "lower",
+            "tolerance": 0.1,
+        },
+        "shuffle_bytes_wire": {
+            "value": bytes_wire,
+            "unit": "bytes",
+            "direction": "lower",
+            "tolerance": 0.1,
+        },
+        "wire_compression_ratio": {
+            "value": round(bytes_wire / bytes_raw, 4),
+            "unit": "wire/raw",
+            "direction": "lower",
+            "tolerance": 0.1,
+            # b=8 of 64-bit values: anything near b/64 plus pickle
+            # overhead removal; leave headroom but keep it honest.
+            "ceiling": 0.25,
+        },
+        "pipeline_ms": {
+            "value": round(pipeline_ms, 3),
+            "unit": "ms",
+            "direction": "lower",
+            "tolerance": 3.0,
+        },
+        "pipeline_clusters": {
+            "value": run.assignment.num_clusters,
+            "unit": "clusters",
+            "direction": "lower",
+            "tolerance": 0.0,
+            "exact": True,
+        },
+    }
+    return {"schema": SCHEMA_VERSION, "workload": w, "metrics": metrics}
+
+
+# --------------------------------------------------------------- compare
+
+
+def compare(baseline: dict, current: dict) -> list[str]:
+    """Regression check of ``current`` against ``baseline``.
+
+    Returns a list of human-readable problems (empty means the gate
+    passes).  The baseline's per-metric policy defines the contract;
+    hard floors/ceilings are also enforced on the current values.
+    """
+    problems: list[str] = []
+    if baseline.get("schema") != current.get("schema"):
+        problems.append(
+            f"schema mismatch: baseline {baseline.get('schema')} "
+            f"vs current {current.get('schema')}"
+        )
+        return problems
+    if baseline.get("workload") != current.get("workload"):
+        problems.append(
+            "workload mismatch: snapshots measure different pinned "
+            "workloads and cannot be compared"
+        )
+        return problems
+    base_metrics = baseline.get("metrics", {})
+    cur_metrics = current.get("metrics", {})
+    for name, spec in base_metrics.items():
+        if name not in cur_metrics:
+            problems.append(f"{name}: missing from current run")
+            continue
+        base = float(spec["value"])
+        cur = float(cur_metrics[name]["value"])
+        tol = float(spec.get("tolerance", 0.0))
+        direction = spec.get("direction", "lower")
+        if spec.get("exact"):
+            if cur != base:
+                problems.append(
+                    f"{name}: expected exactly {base:g}, got {cur:g}"
+                )
+            continue
+        if direction == "higher":
+            limit = base * (1.0 - tol)
+            if cur < limit:
+                problems.append(
+                    f"{name}: {cur:g} < {limit:g} "
+                    f"(baseline {base:g}, tolerance {tol:.0%})"
+                )
+        else:
+            limit = base * (1.0 + tol)
+            if cur > limit:
+                problems.append(
+                    f"{name}: {cur:g} > {limit:g} "
+                    f"(baseline {base:g}, tolerance {tol:.0%})"
+                )
+    # Hard bounds always apply to the fresh measurement.
+    for name, spec in cur_metrics.items():
+        cur = float(spec["value"])
+        floor = spec.get("floor")
+        ceiling = spec.get("ceiling")
+        if floor is not None and cur < float(floor):
+            problems.append(f"{name}: {cur:g} below hard floor {floor:g}")
+        if ceiling is not None and cur > float(ceiling):
+            problems.append(f"{name}: {cur:g} above hard ceiling {ceiling:g}")
+    return problems
+
+
+def find_baseline(root: pathlib.Path = REPO_ROOT) -> pathlib.Path | None:
+    """Newest committed ``BENCH_<date>.json`` (dates sort lexically).
+
+    Only date-shaped names count — scratch snapshots (e.g. the CI
+    artifact ``check --output`` writes) must never shadow the committed
+    baseline.
+    """
+    snapshots = sorted(root.glob("BENCH_[0-9][0-9][0-9][0-9]-[0-9][0-9]-[0-9][0-9].json"))
+    return snapshots[-1] if snapshots else None
+
+
+def _render(snapshot: dict) -> str:
+    lines = ["metric                        value        unit"]
+    for name, spec in snapshot["metrics"].items():
+        lines.append(f"{name:<28}  {spec['value']:>10}   {spec['unit']}")
+    return "\n".join(lines)
+
+
+# ------------------------------------------------------------------- CLI
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command")
+
+    p_run = sub.add_parser("run", help="measure and write BENCH_<date>.json")
+    p_run.add_argument("--output", type=pathlib.Path, default=None)
+    p_run.add_argument(
+        "--date", default=None, help="override the snapshot date (YYYY-MM-DD)"
+    )
+
+    p_check = sub.add_parser(
+        "check", help="measure and compare against the newest committed snapshot"
+    )
+    p_check.add_argument(
+        "--baseline", type=pathlib.Path, default=None,
+        help="snapshot to compare against (default: newest BENCH_*.json)",
+    )
+    p_check.add_argument(
+        "--output", type=pathlib.Path, default=None,
+        help="also record the fresh measurement here (CI artifact)",
+    )
+
+    p_cmp = sub.add_parser("compare", help="compare two recorded snapshots")
+    p_cmp.add_argument("baseline", type=pathlib.Path)
+    p_cmp.add_argument("current", type=pathlib.Path)
+
+    args = parser.parse_args(argv)
+    command = args.command or "run"
+
+    if command == "compare":
+        baseline = json.loads(args.baseline.read_text())
+        current = json.loads(args.current.read_text())
+    else:
+        print(f"measuring pinned workload ({WORKLOAD['num_reads']} reads, "
+              f"k={WORKLOAD['kmer_size']}, n={WORKLOAD['num_hashes']})...")
+        current = collect()
+        print(_render(current))
+        if command == "run":
+            date = args.date or datetime.date.today().isoformat()
+            output = args.output or REPO_ROOT / f"BENCH_{date}.json"
+            output.write_text(json.dumps(current, indent=2) + "\n")
+            print(f"\nwrote {output}")
+            return 0
+        # check
+        if args.output is not None:
+            args.output.write_text(json.dumps(current, indent=2) + "\n")
+        baseline_path = args.baseline or find_baseline()
+        if baseline_path is None:
+            print("no committed BENCH_*.json baseline found; nothing to gate")
+            return 0
+        print(f"\ncomparing against {baseline_path}")
+        baseline = json.loads(baseline_path.read_text())
+
+    problems = compare(baseline, current)
+    if problems:
+        print("\nPERF REGRESSION:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print("\ntrajectory gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

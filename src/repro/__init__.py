@@ -13,7 +13,13 @@ from repro.cluster.pipeline import ClusteringRun, MrMCMinH
 from repro.cluster.assignments import ClusterAssignment
 from repro.cluster.greedy import greedy_cluster
 from repro.cluster.hierarchical import agglomerative_cluster
-from repro.minhash.sketch import MinHashSketch, SketchingConfig, compute_sketches
+from repro.minhash.sketch import (
+    MinHashSketch,
+    SketchingConfig,
+    compute_sketches,
+    compute_sketches_batch,
+)
+from repro.minhash.wire import SketchWireCodec
 from repro.minhash.similarity import estimate_jaccard, exact_jaccard
 from repro.seq.fasta import read_fasta, read_fasta_text, write_fasta
 from repro.seq.records import SequenceRecord

@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.errors import ClusteringError
 from repro.cluster.assignments import ClusterAssignment
-from repro.minhash.sketch import MinHashSketch, sketch_matrix
+from repro.minhash.sketch import MinHashSketch, padded_value_sets, sketch_matrix
 
 
 def greedy_cluster(
@@ -71,22 +71,22 @@ def greedy_cluster(
             next_label += 1
             unassigned = [i for i in unassigned[1:] if labels[i] < 0]
     elif estimator == "set":
-        value_sets = [s.value_set for s in sketches]
+        # Vectorised sweep: every representative scores all remaining
+        # rows with one np.isin over their padded sorted value sets
+        # (pads are -1, never a hash value, so they cannot match).
+        padded, counts = padded_value_sets(matrix)
         while unassigned:
             rep = unassigned[0]
+            rest = np.array(unassigned[1:], dtype=np.intp)
             labels[rep] = next_label
-            rep_set = value_sets[rep]
-            remaining = []
-            for j in unassigned[1:]:
-                other = value_sets[j]
-                union = len(rep_set | other)
-                sim = len(rep_set & other) / union if union else 1.0
-                if sim >= threshold:
-                    labels[j] = next_label
-                else:
-                    remaining.append(j)
+            if rest.size:
+                member = np.isin(padded[rest], padded[rep, : counts[rep]])
+                inter = member.sum(axis=1)
+                sims = inter / (counts[rest] + counts[rep] - inter)
+                joined = rest[sims >= threshold]
+                labels[joined] = next_label
             next_label += 1
-            unassigned = remaining
+            unassigned = [i for i in unassigned[1:] if labels[i] < 0]
     else:
         raise ClusteringError(
             f"unknown estimator {estimator!r}; expected 'set' or 'positional'"

@@ -33,7 +33,13 @@ from repro.mapreduce.hdfs import SimulatedHDFS
 from repro.mapreduce.job import MapReduceJob, identity_reducer
 from repro.mapreduce.runner import SerialRunner
 from repro.mapreduce.types import JobConf, JobTrace, TaskTrace
-from repro.minhash.sketch import MinHashSketch, SketchingConfig, compute_sketch
+from repro.minhash.sketch import (
+    MinHashSketch,
+    SketchingConfig,
+    compute_sketch,
+    sketch_values_batch,
+)
+from repro.minhash.wire import SketchWireCodec, effective_threshold
 from repro.seq.fasta import format_fasta
 from repro.seq.records import SequenceRecord
 
@@ -46,6 +52,8 @@ class _SketchMapper:
     Combines the paper's ``StringGenerator``, ``TranslateToKmer`` and
     ``CalculateMinwiseHash`` UDFs into one map stage (they are row-wise
     ``FOREACH`` steps that Pig would fuse into a single map task anyway).
+    This is the reference path; :class:`_SketchBatchMapper` produces
+    byte-identical output and is what map tasks actually run.
     """
 
     def __init__(self, config: SketchingConfig):
@@ -60,6 +68,41 @@ class _SketchMapper:
         except SketchError:
             return  # reads shorter than k are dropped, as in real pipelines
         yield key, sketch
+
+
+class _SketchBatchMapper:
+    """Whole-split sketch mapper backed by the vectorised batch kernel.
+
+    One :func:`~repro.minhash.sketch.sketch_values_batch` call sketches
+    the entire split — byte-identical to looping :class:`_SketchMapper`
+    over it, including dropping reads that produce no k-mer.
+    """
+
+    def __init__(self, config: SketchingConfig):
+        self.config = config
+
+    def __call__(self, split):
+        keys = []
+        read_ids = []
+        sequences = []
+        for key, (read_id, sequence) in split:
+            # Validate exactly like the per-record path does.
+            SequenceRecord(read_id=read_id, sequence=sequence)
+            keys.append(key)
+            read_ids.append(read_id)
+            sequences.append(sequence)
+        family = self.config.make_family()
+        values, kept = sketch_values_batch(sequences, self.config, family)
+        family_key = (family.num_hashes, family.universe_size, self.config.seed)
+        return [
+            (
+                keys[i],
+                MinHashSketch(
+                    read_id=read_ids[i], values=values[row], family_key=family_key
+                ),
+            )
+            for row, i in enumerate(kept)
+        ]
 
 
 @dataclass
@@ -111,6 +154,16 @@ class MrMCMinH:
         ``method="hierarchical"`` with ``linkage="single"`` — the two
         shapes that scale to paper-sized inputs; other combinations
         reject the flag.
+    wire_bits:
+        Ship sketches through the shuffle as b-bit compressed frames
+        (see :mod:`repro.minhash.wire`), cutting sketch-job shuffle
+        traffic to ``~b/64`` of the raw bytes.  Downstream clustering
+        then runs on the low-b-bit sketches with the threshold mapped to
+        ``c + (1 - c) * theta`` (``c = 2**-b``), which makes comparing
+        raw b-bit match fractions equivalent to comparing
+        collision-corrected Jaccard estimates against ``theta``.  That
+        correction is only valid for the positional estimator, so the
+        flag rejects ``estimator="set"`` combinations.
     """
 
     def __init__(
@@ -126,6 +179,7 @@ class MrMCMinH:
         runner=None,
         num_map_tasks: int = 4,
         sparse: bool = False,
+        wire_bits: int | None = None,
     ):
         if method not in METHODS:
             raise ClusteringError(
@@ -151,6 +205,15 @@ class MrMCMinH:
         self.runner = runner or SerialRunner()
         self.num_map_tasks = num_map_tasks
         self.sparse = sparse
+        self.wire_bits = wire_bits
+        if wire_bits is not None:
+            if self.estimator != "positional":
+                raise ClusteringError(
+                    "wire_bits requires the positional estimator (the b-bit "
+                    "collision correction does not apply to the set form)"
+                )
+            # Validates the bit width up front.
+            effective_threshold(threshold, wire_bits)
         if sparse:
             if threshold <= 0.0:
                 raise ClusteringError("sparse mode requires threshold > 0")
@@ -181,7 +244,13 @@ class MrMCMinH:
         sketch_job = MapReduceJob(
             name="sketch",
             mapper=_SketchMapper(self.config),
+            batch_mapper=_SketchBatchMapper(self.config),
             reducer=identity_reducer,
+            wire=(
+                SketchWireCodec(self.wire_bits)
+                if self.wire_bits is not None
+                else None
+            ),
         )
         inputs = [(i, (rec.read_id, rec.sequence)) for i, rec in enumerate(records)]
         result = self.runner.run(
@@ -200,6 +269,15 @@ class MrMCMinH:
             raise ClusteringError(
                 f"no sequence produced a {self.config.kmer_size}-mer sketch"
             )
+
+        # With b-bit sketches, raw match fractions drift up by the random
+        # low-bit collision floor; thresholding at theta_eff on them is
+        # exactly thresholding corrected Jaccard estimates at theta.
+        theta = (
+            effective_threshold(self.threshold, self.wire_bits)
+            if self.wire_bits is not None
+            else self.threshold
+        )
 
         # ---- stage 2/3: similarity + clustering --------------------------
         similarity: np.ndarray | None = None
@@ -226,9 +304,9 @@ class MrMCMinH:
 
             t0 = time.perf_counter()
             if self.method == "hierarchical":
-                assignment = sparse_single_linkage(sketches, self.threshold)
+                assignment = sparse_single_linkage(sketches, theta)
             else:
-                assignment = sparse_greedy_cluster(sketches, self.threshold)
+                assignment = sparse_greedy_cluster(sketches, theta)
             elapsed = time.perf_counter() - t0
             timings["cluster"] = elapsed
             traces.append(_clustering_trace("sparse-cluster", len(sketches), elapsed))
@@ -249,7 +327,7 @@ class MrMCMinH:
             assignment = agglomerative_cluster(
                 similarity,
                 [s.read_id for s in sketches],
-                self.threshold,
+                theta,
                 linkage=self.linkage,
             )
             elapsed = time.perf_counter() - t0
@@ -258,7 +336,7 @@ class MrMCMinH:
         else:
             t0 = time.perf_counter()
             assignment = greedy_cluster(
-                sketches, self.threshold, estimator=self.estimator
+                sketches, theta, estimator=self.estimator
             )
             elapsed = time.perf_counter() - t0
             timings["cluster"] = elapsed

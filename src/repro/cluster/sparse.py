@@ -33,6 +33,70 @@ from repro.cluster.unionfind import UnionFind
 from repro.minhash.sketch import MinHashSketch, sketch_matrix
 
 
+def candidate_pair_arrays(
+    sketches: Sequence[MinHashSketch],
+    *,
+    min_shared: int = 1,
+    max_group: int | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorised collision-candidate enumeration.
+
+    Returns ``(ii, jj, collisions)`` int64 arrays with ``ii < jj``
+    element-wise — the array form of :func:`candidate_pairs`, and what the
+    sparse clustering paths consume directly.
+
+    Per sketch component the column is sorted once (stable, so indices
+    stay ascending within a collision group); group boundaries fall out of
+    one ``diff``, and each group's ``C(s, 2)`` intra-group pairs are
+    enumerated with a closed-form triangular decode instead of nested
+    Python loops.  Pair multiplicities across components come from one
+    ``np.unique`` over fused ``i * N + j`` keys.
+    """
+    if not sketches:
+        raise ClusteringError("no sketches to index")
+    if min_shared < 1:
+        raise ClusteringError(f"min_shared must be >= 1, got {min_shared}")
+    matrix = sketch_matrix(sketches)  # validates family compatibility
+    n, n_hashes = matrix.shape
+    empty = np.empty(0, dtype=np.int64)
+    keys_per_hash: list[np.ndarray] = []
+    for h in range(n_hashes):
+        column = matrix[:, h]
+        order = np.argsort(column, kind="stable")
+        ordered = column[order]
+        run_starts = np.concatenate(([0], np.flatnonzero(np.diff(ordered)) + 1))
+        run_sizes = np.diff(np.concatenate((run_starts, [n])))
+        keep = run_sizes >= 2
+        if max_group is not None:
+            keep &= run_sizes <= max_group
+        starts = run_starts[keep]
+        sizes = run_sizes[keep]
+        if starts.size == 0:
+            continue
+        pair_counts = sizes * (sizes - 1) // 2
+        total = int(pair_counts.sum())
+        # p = local pair index within its group; decode p -> (x, y) with
+        # 0 <= x < y < s via p = C(y, 2) + x (float sqrt + exact fix-up).
+        offsets = np.cumsum(pair_counts) - pair_counts
+        p = np.arange(total, dtype=np.int64) - np.repeat(offsets, pair_counts)
+        y = ((np.sqrt(8.0 * p + 1.0) + 1.0) / 2.0).astype(np.int64)
+        y = np.where(y * (y - 1) // 2 > p, y - 1, y)
+        y = np.where(y * (y + 1) // 2 <= p, y + 1, y)
+        x = p - y * (y - 1) // 2
+        base = np.repeat(starts, pair_counts)
+        ii = order[base + x]
+        jj = order[base + y]
+        keys_per_hash.append(ii * n + jj)
+    if not keys_per_hash:
+        return empty, empty, empty
+    keys, collisions = np.unique(np.concatenate(keys_per_hash), return_counts=True)
+    if min_shared > 1:
+        mask = collisions >= min_shared
+        keys = keys[mask]
+        collisions = collisions[mask]
+    return keys // n, keys % n, collisions.astype(np.int64)
+
+
 def candidate_pairs(
     sketches: Sequence[MinHashSketch],
     *,
@@ -54,28 +118,12 @@ def candidate_pairs(
     -------
     ``{(i, j): collisions}`` with ``i < j`` over sketch indices.
     """
-    if not sketches:
-        raise ClusteringError("no sketches to index")
-    if min_shared < 1:
-        raise ClusteringError(f"min_shared must be >= 1, got {min_shared}")
-    matrix = sketch_matrix(sketches)  # validates family compatibility
-    counts: dict[tuple[int, int], int] = defaultdict(int)
-    n_hashes = matrix.shape[1]
-    for h in range(n_hashes):
-        groups: dict[int, list[int]] = defaultdict(list)
-        column = matrix[:, h]
-        for i, value in enumerate(column.tolist()):
-            groups[value].append(i)
-        for members in groups.values():
-            if len(members) < 2:
-                continue
-            if max_group is not None and len(members) > max_group:
-                continue
-            for a in range(len(members)):
-                for b in range(a + 1, len(members)):
-                    counts[(members[a], members[b])] += 1
+    ii, jj, collisions = candidate_pair_arrays(
+        sketches, min_shared=min_shared, max_group=max_group
+    )
     return {
-        pair: c for pair, c in counts.items() if c >= min_shared
+        (int(i), int(j)): int(c)
+        for i, j, c in zip(ii.tolist(), jj.tolist(), collisions.tolist())
     }
 
 
@@ -183,11 +231,12 @@ def sparse_single_linkage(
         raise ClusteringError(
             f"threshold must be in (0, 1] for the sparse path, got {threshold}"
         )
-    sims = sparse_similarity(sketches, max_group=max_group)
+    ii, jj, collisions = candidate_pair_arrays(sketches, max_group=max_group)
+    num_hashes = len(sketches[0])
+    hits = collisions / num_hashes >= threshold
     uf = UnionFind(len(sketches))
-    for (i, j), sim in sims.items():
-        if sim >= threshold:
-            uf.union(i, j)
+    for i, j in zip(ii[hits].tolist(), jj[hits].tolist()):
+        uf.union(i, j)
     return ClusterAssignment.from_labels(
         [s.read_id for s in sketches], uf.labels()
     )
@@ -215,11 +264,15 @@ def sparse_greedy_cluster(
     ids = [s.read_id for s in sketches]
     if len(set(ids)) != len(ids):
         raise ClusteringError("sketch read ids must be unique")
-    sims = sparse_similarity(sketches, max_group=max_group)
-    neighbours: dict[int, list[tuple[int, float]]] = defaultdict(list)
-    for (i, j), sim in sims.items():
-        neighbours[i].append((j, sim))
-        neighbours[j].append((i, sim))
+    ii, jj, collisions = candidate_pair_arrays(sketches, max_group=max_group)
+    num_hashes = len(sketches[0])
+    hits = collisions / num_hashes >= threshold
+    # Only above-threshold edges can ever join a cluster; drop the rest
+    # before building adjacency.
+    neighbours: dict[int, list[int]] = defaultdict(list)
+    for i, j in zip(ii[hits].tolist(), jj[hits].tolist()):
+        neighbours[i].append(j)
+        neighbours[j].append(i)
 
     n = len(sketches)
     labels = np.full(n, -1, dtype=np.int64)
@@ -228,10 +281,10 @@ def sparse_greedy_cluster(
         if labels[i] >= 0:
             continue
         labels[i] = next_label
-        for j, sim in neighbours.get(i, ()):
+        for j in neighbours.get(i, ()):
             # Only sequences after i in input order can still be
             # unassigned; Algorithm 1 assigns them to the current rep.
-            if labels[j] < 0 and sim >= threshold:
+            if labels[j] < 0:
                 labels[j] = next_label
         next_label += 1
     return ClusterAssignment.from_labels(ids, [int(v) for v in labels])

@@ -90,16 +90,27 @@ def _attempt_worker(args):
 def _map_body(job: MapReduceJob, split) -> tuple[list, Counters]:
     counters = Counters()
     out = []
-    for key, value in split:
-        emitted = job.run_mapper(key, value, counters)
+    if job.batch_mapper is not None:
+        emitted = job.run_batch_mapper(split, counters)
         if emitted is not None:
             for pair in emitted:
                 if not isinstance(pair, tuple) or len(pair) != 2:
                     raise MapReduceError(
-                        f"mapper of job {job.name!r} emitted {pair!r}; "
+                        f"batch_mapper of job {job.name!r} emitted {pair!r}; "
                         "expected (key, value) tuples"
                     )
                 out.append(pair)
+    else:
+        for key, value in split:
+            emitted = job.run_mapper(key, value, counters)
+            if emitted is not None:
+                for pair in emitted:
+                    if not isinstance(pair, tuple) or len(pair) != 2:
+                        raise MapReduceError(
+                            f"mapper of job {job.name!r} emitted {pair!r}; "
+                            "expected (key, value) tuples"
+                        )
+                    out.append(pair)
     if job.combiner is not None:
         out = SerialRunner._combine(job, out)
     return out, counters
@@ -205,6 +216,8 @@ class MultiprocessRunner:
                 reducer=job.reducer,
                 combiner=None,
                 partitioner=job.partitioner,
+                batch_mapper=job.batch_mapper,
+                wire=job.wire,
             )
 
         pool = None
@@ -244,11 +257,15 @@ class MultiprocessRunner:
             if plan is not None:
                 plan.trigger_barrier("map_end", counters)
 
+            if job.wire is not None:
+                from repro.mapreduce.runner import _through_wire
+
+                map_outputs = _through_wire(job, map_outputs, counters, trace)
             partitions, moved = shuffle(
                 map_outputs, conf.num_reduce_tasks, job.partitioner
             )
             counters.increment("job", "shuffle_records", moved)
-            if trace is not None:
+            if trace is not None and job.wire is None:
                 trace.shuffle_bytes = sum(_approx_bytes(p) for p in map_outputs)
 
             reduce_states = self._run_phase(

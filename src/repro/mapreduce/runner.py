@@ -69,6 +69,32 @@ def _approx_bytes(records: Sequence[tuple]) -> int:
     return int(per / len(sample) * n)
 
 
+def _through_wire(
+    job: MapReduceJob,
+    map_outputs: list[list[tuple]],
+    counters: Counters,
+    trace: JobTrace | None,
+) -> list[list[tuple]]:
+    """Route map outputs through the job's wire codec.
+
+    Each map task's record list is encoded into a compressed frame (the
+    codec stamps a producer-side checksum into it), the trace's shuffle
+    bytes are billed at *frame* size — that is the whole point of the
+    compressed wire format — and frames are decoded (checksum verified)
+    before partitioning, mirroring reduce-side merge input.  Raw-vs-wire
+    byte counters record the savings.
+    """
+    frames = [job.wire.encode_records(out) for out in map_outputs]
+    raw = sum(_approx_bytes(out) for out in map_outputs)
+    on_wire = sum(frame.nbytes for frame in frames)
+    counters.increment("wire", "frames", len(frames))
+    counters.increment("wire", "bytes_raw", raw)
+    counters.increment("wire", "bytes_wire", on_wire)
+    if trace is not None:
+        trace.shuffle_bytes = on_wire
+    return [job.wire.decode_records(frame) for frame in frames]
+
+
 def _median(values: Sequence[float]) -> float:
     ordered = sorted(values)
     mid = len(ordered) // 2
@@ -152,9 +178,11 @@ class SerialRunner:
             plan.trigger_barrier("map_end", counters)
 
         # ---- shuffle -----------------------------------------------------
+        if job.wire is not None:
+            map_outputs = _through_wire(job, map_outputs, counters, trace)
         partitions, moved = shuffle(map_outputs, conf.num_reduce_tasks, job.partitioner)
         counters.increment("job", "shuffle_records", moved)
-        if trace is not None:
+        if trace is not None and job.wire is None:
             trace.shuffle_bytes = sum(_approx_bytes(p) for p in map_outputs)
 
         # ---- reduce phase -------------------------------------------------
@@ -429,10 +457,15 @@ class SerialRunner:
         """One clean map attempt over a split (fresh counters per attempt)."""
         task_counters = Counters()
         out: list[tuple] = []
-        for key, value in split:
-            emitted = job.run_mapper(key, value, task_counters)
+        if job.batch_mapper is not None:
+            emitted = job.run_batch_mapper(split, task_counters)
             if emitted is not None:
-                out.extend(self._validated(emitted, job.name, "mapper"))
+                out.extend(self._validated(emitted, job.name, "batch_mapper"))
+        else:
+            for key, value in split:
+                emitted = job.run_mapper(key, value, task_counters)
+                if emitted is not None:
+                    out.extend(self._validated(emitted, job.name, "mapper"))
         if conf.use_combiner and job.combiner is not None:
             out = self._combine(job, out)
         return out, task_counters

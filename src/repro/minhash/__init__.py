@@ -6,15 +6,30 @@ i-th sketch component is ``min_{x in I} h_i(x)`` (Equation 6).  The
 probability two sets share a minimum under a random permutation equals
 their Jaccard similarity (Equation 3), so comparing sketches estimates
 Jaccard without any alignment.
+
+Two sketching paths produce byte-identical output: the per-record
+reference (:func:`compute_sketch`) and the vectorised batch kernel
+(:func:`compute_sketches_batch` / :func:`sketch_values_batch`), which is
+what every production caller routes through.  :mod:`repro.minhash.wire`
+adds the b-bit compressed wire format for shuffle traffic.
 """
 
-from repro.minhash.universal import UniversalHashFamily, next_prime, is_prime
+from repro.minhash.universal import (
+    UniversalHashFamily,
+    cached_family,
+    next_prime,
+    is_prime,
+)
 from repro.minhash.sketch import (
     MinHashSketch,
     SketchingConfig,
     compute_sketch,
     compute_sketches,
+    compute_sketches_batch,
+    padded_value_sets,
     sketch_matrix,
+    sketch_values_batch,
+    sketches_from_matrix,
 )
 from repro.minhash.similarity import (
     estimate_jaccard,
@@ -24,20 +39,41 @@ from repro.minhash.similarity import (
     pairwise_similarity_matrix,
     condensed_to_square,
 )
+from repro.minhash.wire import (
+    SketchFrame,
+    SketchWireCodec,
+    collision_floor,
+    corrected_jaccard,
+    effective_threshold,
+    pack_values,
+    unpack_values,
+)
 
 __all__ = [
     "UniversalHashFamily",
+    "cached_family",
     "next_prime",
     "is_prime",
     "MinHashSketch",
     "SketchingConfig",
     "compute_sketch",
     "compute_sketches",
+    "compute_sketches_batch",
+    "padded_value_sets",
     "sketch_matrix",
+    "sketch_values_batch",
+    "sketches_from_matrix",
     "estimate_jaccard",
     "exact_jaccard",
     "positional_similarity",
     "set_similarity",
     "pairwise_similarity_matrix",
     "condensed_to_square",
+    "SketchFrame",
+    "SketchWireCodec",
+    "collision_floor",
+    "corrected_jaccard",
+    "effective_threshold",
+    "pack_values",
+    "unpack_values",
 ]

@@ -24,9 +24,13 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.errors import SketchError
-from repro.minhash.sketch import MinHashSketch, sketch_matrix
+from repro.minhash.sketch import MinHashSketch, padded_value_sets, sketch_matrix
 
 ESTIMATORS = ("positional", "set")
+
+#: Element budget for one broadcasted comparison block of the positional
+#: matrix path (rows_per_block * N * num_hashes); bounds peak memory.
+_BLOCK_BUDGET_ELEMENTS = 1 << 22
 
 
 def exact_jaccard(set_a: np.ndarray, set_b: np.ndarray) -> float:
@@ -113,26 +117,30 @@ def pairwise_similarity_matrix(
     if not (0 <= start <= stop <= n):
         raise SketchError(f"row_range {row_range} out of bounds for N={n}")
 
+    matrix = sketch_matrix(sketches)  # validates family compatibility
+
     if estimator == "positional":
-        matrix = sketch_matrix(sketches)  # (N, n_hashes)
+        # Blocked broadcast: compare a band of rows against the whole
+        # matrix at once instead of one row per Python iteration.
+        num_hashes = matrix.shape[1]
+        rows_per_block = max(1, _BLOCK_BUDGET_ELEMENTS // max(1, n * num_hashes))
         out = np.empty((stop - start, n), dtype=np.float64)
-        for i in range(start, stop):
-            out[i - start] = np.mean(matrix[i] == matrix, axis=1)
+        for lo in range(start, stop, rows_per_block):
+            hi = min(lo + rows_per_block, stop)
+            equal = matrix[lo:hi, None, :] == matrix[None, :, :]
+            out[lo - start : hi - start] = equal.mean(axis=2)
         return out
 
-    # Set-based path: pairwise over frozensets.
-    first = sketches[0]
-    for s in sketches[1:]:
-        if not s.compatible_with(first):
-            raise SketchError("sketches use mixed hash families")
-    sets = [s.value_set for s in sketches]
+    # Set-based path: each row's distinct values live in a padded sorted
+    # block, so one np.isin per row scores it against every other row at
+    # once (pads are -1, never a hash value, so they can't match).
+    padded, counts = padded_value_sets(matrix)
     out = np.empty((stop - start, n), dtype=np.float64)
     for i in range(start, stop):
-        a = sets[i]
-        for j in range(n):
-            b = sets[j]
-            union = len(a | b)
-            out[i - start, j] = len(a & b) / union if union else 1.0
+        member = np.isin(padded, padded[i, : counts[i]])
+        inter = member.sum(axis=1)
+        # Sketches are non-empty, so the union never vanishes.
+        out[i - start] = inter / (counts + counts[i] - inter)
     return out
 
 

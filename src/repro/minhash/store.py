@@ -15,7 +15,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.errors import SketchError
-from repro.minhash.sketch import MinHashSketch, sketch_matrix
+from repro.minhash.sketch import MinHashSketch, sketch_matrix, sketches_from_matrix
 
 _FORMAT_VERSION = 1
 
@@ -62,11 +62,4 @@ def load_sketches(path: str | os.PathLike) -> list[MinHashSketch]:
             f"corrupt sketch bundle: {values.shape} values for "
             f"{read_ids.shape[0]} ids"
         )
-    return [
-        MinHashSketch(
-            read_id=str(read_ids[i]),
-            values=values[i],
-            family_key=family_key,  # type: ignore[arg-type]
-        )
-        for i in range(values.shape[0])
-    ]
+    return sketches_from_matrix(values, list(read_ids), family_key)  # type: ignore[arg-type]

@@ -16,6 +16,7 @@ paper settings (k = 5 for whole-metagenome, k = 15 for 16S).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 import numpy as np
 
@@ -52,8 +53,14 @@ def is_prime(n: int) -> bool:
     return True
 
 
+@lru_cache(maxsize=None)
 def next_prime(n: int) -> int:
-    """Smallest prime strictly greater than ``n``."""
+    """Smallest prime strictly greater than ``n``.
+
+    Cached: the Miller-Rabin search runs once per distinct universe size,
+    not once per sketch (hash families for a given ``k`` always probe the
+    same ``n``).
+    """
     if n < 1:
         raise SketchError(f"next_prime requires n >= 1, got {n}")
     candidate = n + 1
@@ -159,3 +166,20 @@ class UniversalHashFamily:
         if not 0.0 <= jaccard <= 1.0:
             raise SketchError(f"jaccard must be in [0,1], got {jaccard}")
         return jaccard
+
+
+@lru_cache(maxsize=128)
+def cached_family(
+    num_hashes: int, universe_size: int, seed: int = 0
+) -> UniversalHashFamily:
+    """Shared :class:`UniversalHashFamily` for ``(num_hashes, universe, seed)``.
+
+    Family construction draws coefficients and (before caching) ran a
+    Miller-Rabin prime search per call; callers that sketch record-by-record
+    without passing an explicit family used to pay that on every sequence.
+    The family is immutable, so one shared instance per parameter triple is
+    safe to hand out everywhere.
+    """
+    return UniversalHashFamily(
+        num_hashes=num_hashes, universe_size=universe_size, seed=seed
+    )

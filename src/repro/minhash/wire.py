@@ -1,0 +1,215 @@
+"""b-bit compressed sketch wire format for the shuffle layer.
+
+Full min-hash values are int64; shipping them through the shuffle costs
+64 bits per component.  b-bit minwise hashing (Li & Konig, CACM 2011; the
+communication-efficient Jaccard setting of Besta et al.) keeps only the
+lowest ``b`` bits of each component: two *equal* minima still match, and
+two *different* minima collide on their low bits with probability
+``c = 1 / 2**b``.  The positional match fraction therefore drifts from
+the true Jaccard ``J`` to::
+
+    E[match] = J + (1 - J) * c = c + (1 - c) * J
+
+which is inverted by :func:`corrected_jaccard` (``J = (m - c)/(1 - c)``)
+and folded into thresholds by :func:`effective_threshold`
+(``theta_eff = c + (1 - c) * theta``) so clustering decisions made on
+compressed sketches approximate the uncompressed ones while the shuffle
+moves ``~b/64`` of the bytes.
+
+The codec plugs into the Map-Reduce engine through the ``wire`` field of
+:class:`~repro.mapreduce.job.MapReduceJob`: each map task's output is
+packed into a :class:`SketchFrame` carrying a producer-side CRC32 (the
+IFile-checksum model from the fault-tolerance layer), the shuffle
+accounts the *frame* bytes, and the frame is verified + decoded on the
+reduce side.  Decoding is lossy by design — the decoded sketches carry a
+``family_key`` of ``(num_hashes, 2**b, seed)`` so they can never be
+accidentally compared against uncompressed sketches.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MapReduceError, SketchError
+from repro.minhash.sketch import MinHashSketch, sketches_from_matrix
+
+#: Supported b-bit widths: divisors of 8 keep np.packbits exact and the
+#: payload layout trivially byte-aligned per component column.
+SUPPORTED_BITS = (1, 2, 4, 8, 16, 32)
+
+
+def collision_floor(bits: int) -> float:
+    """``c = 1 / 2**b`` — chance two *unequal* minima match on b bits."""
+    _check_bits(bits)
+    return 1.0 / float(1 << bits)
+
+
+def corrected_jaccard(match_fraction: float, bits: int) -> float:
+    """Invert the b-bit match expectation back to a Jaccard estimate.
+
+    ``E[match] = c + (1 - c) J`` gives ``J = (match - c) / (1 - c)``,
+    clipped to ``[0, 1]`` (sampling noise can push the raw fraction below
+    the collision floor).
+    """
+    c = collision_floor(bits)
+    if not 0.0 <= match_fraction <= 1.0:
+        raise SketchError(
+            f"match fraction must be in [0,1], got {match_fraction}"
+        )
+    return min(1.0, max(0.0, (match_fraction - c) / (1.0 - c)))
+
+
+def effective_threshold(threshold: float, bits: int) -> float:
+    """Map a Jaccard threshold into b-bit match-fraction space.
+
+    Comparing the *raw* b-bit match fraction against
+    ``c + (1 - c) * theta`` is equivalent to comparing the corrected
+    Jaccard estimate against ``theta``.
+    """
+    if not 0.0 <= threshold <= 1.0:
+        raise SketchError(f"threshold must be in [0,1], got {threshold}")
+    c = collision_floor(bits)
+    return c + (1.0 - c) * threshold
+
+
+def pack_values(matrix: np.ndarray, bits: int) -> bytes:
+    """Pack the lowest ``bits`` of every matrix entry into a byte payload.
+
+    Layout: entries in C order, each contributing ``bits`` bits, MSB
+    first within each entry — ``np.packbits`` over the ``(N*H, bits)``
+    bit plane.  ``unpack_values`` is the exact inverse of the masked
+    values.
+    """
+    _check_bits(bits)
+    matrix = np.asarray(matrix, dtype=np.int64)
+    if matrix.ndim != 2:
+        raise SketchError(f"expected a 2-D sketch matrix, got shape {matrix.shape}")
+    masked = (matrix & ((1 << bits) - 1)).astype(np.uint64)
+    shifts = np.arange(bits - 1, -1, -1, dtype=np.uint64)
+    planes = ((masked[..., None] >> shifts) & 1).astype(np.uint8)
+    return np.packbits(planes.reshape(-1)).tobytes()
+
+
+def unpack_values(
+    payload: bytes, num_records: int, num_hashes: int, bits: int
+) -> np.ndarray:
+    """Inverse of :func:`pack_values`: ``(num_records, num_hashes)`` int64."""
+    _check_bits(bits)
+    total_bits = num_records * num_hashes * bits
+    expected = -(-total_bits // 8)
+    if len(payload) != expected:
+        raise SketchError(
+            f"payload of {len(payload)} bytes does not hold "
+            f"{num_records}x{num_hashes} values at {bits} bits "
+            f"(expected {expected})"
+        )
+    planes = np.unpackbits(
+        np.frombuffer(payload, dtype=np.uint8), count=total_bits
+    ).reshape(num_records * num_hashes, bits)
+    weights = (1 << np.arange(bits - 1, -1, -1, dtype=np.int64))
+    values = planes.astype(np.int64) @ weights
+    return values.reshape(num_records, num_hashes)
+
+
+def _check_bits(bits: int) -> None:
+    if bits not in SUPPORTED_BITS:
+        raise SketchError(
+            f"unsupported b-bit width {bits}; expected one of {SUPPORTED_BITS}"
+        )
+
+
+@dataclass(frozen=True)
+class SketchFrame:
+    """One map task's sketch output, packed for the wire.
+
+    ``crc`` is computed by the *producer* over the payload at encode time
+    and travels with the frame; :meth:`SketchWireCodec.decode_records`
+    recomputes it on receipt, so corruption in transit is detected before
+    any reducer consumes the data (the same producer-side IFile-checksum
+    model the fault-injection layer exercises).
+    """
+
+    payload: bytes
+    crc: int
+    keys: tuple
+    read_ids: tuple
+    num_hashes: int
+    bits: int
+    seed: int
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size on the wire (the quantity the shuffle model bills)."""
+        return len(self.payload)
+
+
+class SketchWireCodec:
+    """Encode/decode ``(key, MinHashSketch)`` map outputs as b-bit frames.
+
+    Satisfies the ``wire`` protocol of
+    :class:`~repro.mapreduce.job.MapReduceJob`: ``encode_records`` turns
+    one task's record list into a :class:`SketchFrame`, ``decode_records``
+    verifies the CRC and reconstitutes records.  Decoded sketches hold the
+    low-b-bit values with ``family_key = (num_hashes, 2**bits, seed)``.
+    """
+
+    def __init__(self, bits: int = 8):
+        _check_bits(bits)
+        self.bits = bits
+
+    def encode_records(self, records: list[tuple]) -> SketchFrame:
+        keys = []
+        read_ids = []
+        rows = []
+        num_hashes = None
+        seed = 0
+        for key, value in records:
+            if not isinstance(value, MinHashSketch):
+                raise MapReduceError(
+                    f"sketch wire codec cannot encode {type(value).__name__}; "
+                    "map outputs must be (key, MinHashSketch) pairs"
+                )
+            if num_hashes is None:
+                num_hashes = len(value)
+                seed = value.family_key[2]
+            elif len(value) != num_hashes:
+                raise MapReduceError(
+                    "sketch wire codec requires equal-length sketches per task"
+                )
+            keys.append(key)
+            read_ids.append(value.read_id)
+            rows.append(value.values)
+        matrix = (
+            np.vstack(rows) if rows else np.empty((0, 0), dtype=np.int64)
+        )
+        payload = pack_values(matrix, self.bits) if rows else b""
+        return SketchFrame(
+            payload=payload,
+            crc=zlib.crc32(payload),
+            keys=tuple(keys),
+            read_ids=tuple(read_ids),
+            num_hashes=num_hashes or 0,
+            bits=self.bits,
+            seed=seed,
+        )
+
+    def decode_records(self, frame: SketchFrame) -> list[tuple]:
+        if not isinstance(frame, SketchFrame):
+            raise MapReduceError(
+                f"sketch wire codec cannot decode {type(frame).__name__}"
+            )
+        if zlib.crc32(frame.payload) != frame.crc:
+            raise MapReduceError(
+                "corrupted sketch frame (checksum mismatch)"
+            )
+        if not frame.keys:
+            return []
+        values = unpack_values(
+            frame.payload, len(frame.keys), frame.num_hashes, frame.bits
+        )
+        family_key = (frame.num_hashes, 1 << frame.bits, frame.seed)
+        sketches = sketches_from_matrix(values, frame.read_ids, family_key)
+        return list(zip(frame.keys, sketches))

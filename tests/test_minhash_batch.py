@@ -1,0 +1,164 @@
+"""Batch sketching kernel vs the per-record reference path.
+
+The contract is byte-identity: :func:`compute_sketches_batch` must
+reproduce :func:`compute_sketch` exactly — same values, same dtype, same
+record order, same drops — across every universe size (the small
+gather-table path and the large sort-dedup path), chunking boundary,
+ambiguous-base density, and strict-mode error.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KmerError, SequenceError, SketchError
+from repro.minhash.sketch import (
+    SketchingConfig,
+    compute_sketch,
+    compute_sketches,
+    compute_sketches_batch,
+    sketch_values_batch,
+)
+from repro.seq.records import SequenceRecord
+
+
+def reference_sketches(records, config):
+    """The per-record loop the batch kernel must match byte for byte."""
+    family = config.make_family()
+    out = []
+    for record in records:
+        try:
+            out.append(compute_sketch(record, config, family))
+        except SketchError:
+            continue
+    return out
+
+
+def assert_identical(records, config):
+    expected = reference_sketches(records, config)
+    got = compute_sketches_batch(records, config)
+    assert [s.read_id for s in got] == [s.read_id for s in expected]
+    assert [s.family_key for s in got] == [s.family_key for s in expected]
+    for g, e in zip(got, expected):
+        assert g.values.dtype == e.values.dtype
+        assert g.values.tobytes() == e.values.tobytes()
+
+
+sequences = st.lists(
+    st.text(alphabet="ACGTN", min_size=1, max_size=40), min_size=1, max_size=25
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    seqs=sequences,
+    kmer_size=st.integers(min_value=1, max_value=15),
+    num_hashes=st.integers(min_value=1, max_value=12),
+    seed=st.integers(min_value=0, max_value=5),
+)
+def test_batch_matches_loop_property(seqs, kmer_size, num_hashes, seed):
+    records = [
+        SequenceRecord(read_id=f"r{i}", sequence=s) for i, s in enumerate(seqs)
+    ]
+    config = SketchingConfig(
+        kmer_size=kmer_size, num_hashes=num_hashes, seed=seed
+    )
+    assert_identical(records, config)
+
+
+@pytest.mark.parametrize(
+    "kmer_size,num_hashes,seed",
+    [(5, 100, 0), (3, 7, 1), (1, 2, 3), (8, 33, 5), (9, 10, 4), (15, 50, 2)],
+)
+def test_batch_matches_loop_paper_settings(kmer_size, num_hashes, seed):
+    rng = np.random.default_rng(seed)
+    records = []
+    for i in range(40):
+        length = int(rng.integers(1, 120))
+        letters = rng.choice(list("ACGT"), size=length)
+        if rng.random() < 0.5 and length > 2:
+            letters[rng.integers(0, length)] = "N"
+        records.append(
+            SequenceRecord(read_id=f"r{i}", sequence="".join(letters))
+        )
+    config = SketchingConfig(
+        kmer_size=kmer_size, num_hashes=num_hashes, seed=seed
+    )
+    assert_identical(records, config)
+
+
+@pytest.mark.parametrize("chunk_kmers", [1, 17, 257])
+def test_batch_chunking_is_invisible(chunk_kmers):
+    rng = np.random.default_rng(7)
+    records = [
+        SequenceRecord(
+            read_id=f"r{i}",
+            sequence="".join(rng.choice(list("ACGT"), size=60)),
+        )
+        for i in range(20)
+    ]
+    config = SketchingConfig(kmer_size=9, num_hashes=8, seed=1)
+    family = config.make_family()
+    full, kept_full = sketch_values_batch(
+        [r.sequence for r in records], config, family
+    )
+    chunked, kept_chunked = sketch_values_batch(
+        [r.sequence for r in records], config, family, chunk_kmers=chunk_kmers
+    )
+    assert np.array_equal(kept_full, kept_chunked)
+    assert full.tobytes() == chunked.tobytes()
+
+
+def test_batch_drops_short_reads_like_loop():
+    records = [
+        SequenceRecord(read_id="long", sequence="ACGTACGTACGT"),
+        SequenceRecord(read_id="short", sequence="ACG"),
+        SequenceRecord(read_id="allN", sequence="NNNNNNNN"),
+    ]
+    config = SketchingConfig(kmer_size=5, num_hashes=4, seed=0)
+    assert_identical(records, config)
+    got = compute_sketches_batch(records, config)
+    assert [s.read_id for s in got] == ["long"]
+
+
+def test_batch_empty_input():
+    config = SketchingConfig(kmer_size=5, num_hashes=4, seed=0)
+    assert compute_sketches_batch([], config) == []
+
+
+def test_batch_strict_rejects_ambiguous():
+    records = [
+        SequenceRecord(read_id="ok", sequence="ACGTACGT"),
+        SequenceRecord(read_id="bad", sequence="ACNTACGT"),
+    ]
+    config = SketchingConfig(kmer_size=4, num_hashes=4, seed=0, strict=True)
+    with pytest.raises(SequenceError, match="invalid DNA character"):
+        compute_sketches_batch(records, config)
+
+
+def test_batch_strict_rejects_short():
+    records = [SequenceRecord(read_id="tiny", sequence="ACT")]
+    config = SketchingConfig(kmer_size=4, num_hashes=4, seed=0, strict=True)
+    with pytest.raises(KmerError, match="shorter than k"):
+        compute_sketches_batch(records, config)
+
+
+def test_compute_sketches_routes_through_batch():
+    """The public plural API and the reference loop stay in lockstep."""
+    rng = np.random.default_rng(3)
+    records = [
+        SequenceRecord(
+            read_id=f"r{i}",
+            sequence="".join(rng.choice(list("ACGT"), size=80)),
+        )
+        for i in range(15)
+    ]
+    config = SketchingConfig(kmer_size=5, num_hashes=16, seed=2)
+    got = compute_sketches(records, config)
+    expected = reference_sketches(records, config)
+    assert len(got) == len(expected)
+    for g, e in zip(got, expected):
+        assert g.read_id == e.read_id
+        assert g.family_key == e.family_key
+        assert np.array_equal(g.values, e.values)

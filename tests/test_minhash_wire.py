@@ -1,0 +1,228 @@
+"""b-bit compressed sketch wire format (repro.minhash.wire).
+
+Covers the packed codec round-trip, the CRC guard on compressed frames,
+the collision-corrected Jaccard estimator, and the engine integration
+that actually shrinks sketch-job shuffle traffic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ClusteringError, MapReduceError, SketchError
+from repro.cluster.pipeline import MrMCMinH
+from repro.datasets import generate_whole_metagenome_sample
+from repro.minhash.sketch import MinHashSketch, SketchingConfig, compute_sketches
+from repro.minhash.wire import (
+    SUPPORTED_BITS,
+    SketchWireCodec,
+    collision_floor,
+    corrected_jaccard,
+    effective_threshold,
+    pack_values,
+    unpack_values,
+)
+
+
+# ------------------------------------------------------------- packing
+
+
+@pytest.mark.parametrize("bits", SUPPORTED_BITS)
+def test_pack_unpack_roundtrip(bits):
+    rng = np.random.default_rng(bits)
+    matrix = rng.integers(0, 1 << 62, size=(13, 25), dtype=np.int64)
+    payload = pack_values(matrix, bits)
+    assert len(payload) == -(-13 * 25 * bits // 8)  # ceil of the bit count
+    restored = unpack_values(payload, 13, 25, bits)
+    mask = (1 << bits) - 1
+    assert np.array_equal(restored, matrix & mask)
+
+
+def test_pack_rejects_unsupported_bits():
+    matrix = np.zeros((2, 2), dtype=np.int64)
+    for bad in (0, 3, 7, 64):
+        with pytest.raises(SketchError):
+            pack_values(matrix, bad)
+
+
+def test_packed_size_is_b_over_64():
+    matrix = np.zeros((100, 64), dtype=np.int64)
+    for bits in SUPPORTED_BITS:
+        payload = pack_values(matrix, bits)
+        assert len(payload) == matrix.nbytes * bits // 64
+
+
+def test_unpack_validates_length():
+    payload = pack_values(np.zeros((4, 8), dtype=np.int64), 8)
+    with pytest.raises(SketchError):
+        unpack_values(payload, 5, 8, 8)
+
+
+# ----------------------------------------------------------- estimator
+
+
+def test_collision_floor():
+    assert collision_floor(1) == 0.5
+    assert collision_floor(8) == 1 / 256
+
+
+def test_corrected_jaccard_endpoints():
+    for bits in SUPPORTED_BITS:
+        c = collision_floor(bits)
+        assert corrected_jaccard(c, bits) == pytest.approx(0.0)
+        assert corrected_jaccard(1.0, bits) == pytest.approx(1.0)
+        # Below-floor match fractions clip to 0 rather than going negative.
+        assert corrected_jaccard(0.0, bits) == 0.0
+
+
+def test_effective_threshold_is_inverse():
+    for bits in SUPPORTED_BITS:
+        for theta in (0.0, 0.3, 0.9, 1.0):
+            eff = effective_threshold(theta, bits)
+            assert corrected_jaccard(eff, bits) == pytest.approx(theta)
+
+
+def test_estimator_accuracy_statistical():
+    """b-bit match fractions, corrected, estimate the full-width Jaccard.
+
+    Two sketches with known full-width positional similarity J: the
+    expected b-bit match fraction is c + (1-c)J, so the corrected
+    estimate must land near J (binomial noise over n components).
+    """
+    rng = np.random.default_rng(0)
+    n = 4000
+    a = rng.integers(0, 1 << 32, size=n, dtype=np.int64)
+    b = a.copy()
+    differ = rng.random(n) < 0.4  # target J = 0.6
+    b[differ] = rng.integers(0, 1 << 32, size=int(differ.sum()), dtype=np.int64)
+    j_full = float(np.mean(a == b))
+    for bits in (4, 8, 16):
+        mask = (1 << bits) - 1
+        match = float(np.mean((a & mask) == (b & mask)))
+        estimate = corrected_jaccard(match, bits)
+        # 3-sigma binomial bound on n components, plus correction blow-up.
+        sigma = 3.0 / (np.sqrt(n) * (1 - collision_floor(bits)))
+        assert abs(estimate - j_full) < sigma + 0.02
+
+
+# --------------------------------------------------------------- codec
+
+
+def _sketches(num=12):
+    reads = generate_whole_metagenome_sample("S1", num_reads=num, genome_length=3000)
+    return compute_sketches(reads, SketchingConfig(kmer_size=5, num_hashes=50))
+
+
+def test_codec_roundtrip_preserves_low_bits():
+    sketches = _sketches()
+    records = [(i, s) for i, s in enumerate(sketches)]
+    codec = SketchWireCodec(bits=8)
+    frame = codec.encode_records(records)
+    decoded = codec.decode_records(frame)
+    assert [k for k, _ in decoded] == [k for k, _ in records]
+    for (_, got), (_, sent) in zip(decoded, records):
+        assert isinstance(got, MinHashSketch)
+        assert got.read_id == sent.read_id
+        assert np.array_equal(got.values, sent.values & 0xFF)
+
+
+def test_codec_frame_is_smaller_than_raw():
+    sketches = _sketches()
+    records = [(i, s) for i, s in enumerate(sketches)]
+    frame = SketchWireCodec(bits=8).encode_records(records)
+    raw_bytes = sum(s.values.nbytes for s in sketches)
+    assert frame.nbytes == raw_bytes // 8  # b/64 of the value bytes
+
+
+def test_codec_crc_detects_corruption():
+    sketches = _sketches()
+    codec = SketchWireCodec(bits=8)
+    frame = codec.encode_records([(i, s) for i, s in enumerate(sketches)])
+    tampered = bytearray(frame.payload)
+    tampered[0] ^= 0xFF
+    bad = type(frame)(
+        payload=bytes(tampered),
+        crc=frame.crc,
+        keys=frame.keys,
+        read_ids=frame.read_ids,
+        num_hashes=frame.num_hashes,
+        bits=frame.bits,
+        seed=frame.seed,
+    )
+    with pytest.raises(MapReduceError, match="checksum"):
+        codec.decode_records(bad)
+
+
+def test_codec_rejects_non_sketch_records():
+    codec = SketchWireCodec(bits=8)
+    with pytest.raises(MapReduceError):
+        codec.encode_records([(0, "not a sketch")])
+
+
+# ---------------------------------------------------- engine integration
+
+
+def test_pipeline_wire_shrinks_shuffle_bytes():
+    reads = generate_whole_metagenome_sample("S1", num_reads=60, genome_length=3000)
+    kwargs = dict(
+        kmer_size=5,
+        num_hashes=100,
+        threshold=0.8,
+        method="greedy",
+        estimator="positional",
+    )
+    plain = MrMCMinH(**kwargs).fit(reads)
+    wired = MrMCMinH(**kwargs, wire_bits=8).fit(reads)
+    wire = wired.counters.as_dict()["wire"]
+    assert wire["frames"] >= 1
+    assert wire["bytes_wire"] < wire["bytes_raw"]
+    # The sketch job's trace bills shuffle at frame size.
+    assert wired.traces[0].shuffle_bytes == wire["bytes_wire"]
+    assert wired.traces[0].shuffle_bytes < plain.traces[0].shuffle_bytes
+
+
+def test_pipeline_wire_preserves_clustering_on_separated_workload():
+    """Clustering decisions survive compression when similarities sit far
+    from the threshold: duplicate reads (J = 1) always clear the effective
+    threshold, unrelated random reads (b-bit match fraction ~ 1/256) never
+    do.  (Pairs *at* the threshold may flip — the corrected estimator is
+    unbiased but decisions on the integer match-count grid can move by
+    one count, which is why this test pins similarities to the extremes.)
+    """
+    from repro.seq.records import SequenceRecord
+
+    rng = np.random.default_rng(11)
+    records = []
+    for group in range(4):
+        sequence = "".join(rng.choice(list("ACGT"), size=300))
+        for copy_idx in range(5):
+            records.append(
+                SequenceRecord(read_id=f"g{group}c{copy_idx}", sequence=sequence)
+            )
+    for lone in range(6):
+        records.append(
+            SequenceRecord(
+                read_id=f"lone{lone}",
+                sequence="".join(rng.choice(list("ACGT"), size=300)),
+            )
+        )
+    kwargs = dict(
+        kmer_size=8,
+        num_hashes=100,
+        threshold=0.9,
+        method="greedy",
+        estimator="positional",
+    )
+    plain = MrMCMinH(**kwargs).fit(records)
+    wired = MrMCMinH(**kwargs, wire_bits=8).fit(records)
+    assert plain.assignment.num_clusters == 10  # 4 duplicate groups + 6 loners
+    assert dict(wired.assignment) == dict(plain.assignment)
+
+
+def test_pipeline_wire_rejects_set_estimator():
+    with pytest.raises(ClusteringError, match="positional"):
+        MrMCMinH(method="greedy", estimator="set", wire_bits=8)
+
+
+def test_pipeline_wire_rejects_bad_bits():
+    with pytest.raises(SketchError, match="unsupported b-bit width"):
+        MrMCMinH(method="greedy", estimator="positional", wire_bits=5)
