@@ -49,7 +49,12 @@ WORKLOAD = {
     "timing_rounds": 3,
 }
 
-SCHEMA_VERSION = 1
+# Schema history:
+#   1 — initial trajectory metrics.
+#   2 — adds the telemetry-sourced ``fault_retry_count`` gate and the
+#       informational ``obs`` section (span count, phase coverage, full
+#       metrics snapshot) recorded from a traced pipeline run.
+SCHEMA_VERSION = 2
 
 
 def _best_of(rounds: int, fn) -> float:
@@ -62,13 +67,22 @@ def _best_of(rounds: int, fn) -> float:
     return best * 1000.0
 
 
-def collect(workload: dict | None = None) -> dict:
+def collect(
+    workload: dict | None = None,
+    *,
+    obs_log: pathlib.Path | None = None,
+    chrome_trace: pathlib.Path | None = None,
+) -> dict:
     """Measure every trajectory metric on the pinned workload.
 
     Returns the full snapshot document (schema, workload, metrics with
-    their regression policies attached).
+    their regression policies attached, and an ``obs`` section holding
+    the telemetry of one traced pipeline run).  ``obs_log`` /
+    ``chrome_trace`` additionally export that run's JSONL event log and
+    Chrome trace (the CI perf job uploads both as artifacts).
     """
     from repro.cluster.pipeline import MrMCMinH
+    from repro.obs import Tracer, build_report, write_chrome_trace
     from repro.cluster.sparse import candidate_pair_arrays
     from repro.datasets import generate_whole_metagenome_sample
     from repro.minhash.sketch import (
@@ -119,7 +133,18 @@ def collect(workload: dict | None = None) -> dict:
         wire_bits=w["wire_bits"],
     )
     pipeline_ms = _best_of(rounds, lambda: model.fit(reads))
-    run = model.fit(reads)
+    # One final traced run records the telemetry snapshot.  The timing
+    # rounds above stay untraced, so pipeline_ms keeps measuring the
+    # default (telemetry-off) path the <2%-overhead contract is about.
+    tracer = Tracer()
+    with tracer.activate():
+        run = model.fit(reads)
+    obs_report = build_report(tracer.spans, tracer.metrics.snapshot())
+    if obs_log is not None:
+        tracer.write_jsonl(obs_log)
+    if chrome_trace is not None:
+        write_chrome_trace(tracer.spans, chrome_trace)
+    retry_count = int(tracer.metrics.value("mr.fault.task_retries", 0))
     wire = run.counters.as_dict()["wire"]
     bytes_raw = wire["bytes_raw"]
     bytes_wire = wire["bytes_wire"]
@@ -190,8 +215,24 @@ def collect(workload: dict | None = None) -> dict:
             "tolerance": 0.0,
             "exact": True,
         },
+        "fault_retry_count": {
+            # Sourced from the telemetry registry (mr.fault.task_retries):
+            # the pinned workload injects no faults, so any retry is a
+            # real engine regression and gates exactly.
+            "value": retry_count,
+            "unit": "retries",
+            "direction": "lower",
+            "tolerance": 0.0,
+            "exact": True,
+        },
     }
-    return {"schema": SCHEMA_VERSION, "workload": w, "metrics": metrics}
+    obs = {
+        "spans": len(tracer.spans),
+        "phase_coverage": round(obs_report.phase_coverage, 4),
+        "critical_path": [name for name, _ in obs_report.critical_path],
+        "metrics": tracer.metrics.snapshot(),
+    }
+    return {"schema": SCHEMA_VERSION, "workload": w, "metrics": metrics, "obs": obs}
 
 
 # --------------------------------------------------------------- compare
@@ -301,6 +342,15 @@ def main(argv: list[str] | None = None) -> int:
         "--output", type=pathlib.Path, default=None,
         help="also record the fresh measurement here (CI artifact)",
     )
+    for p_obs in (p_run, p_check):
+        p_obs.add_argument(
+            "--obs-log", type=pathlib.Path, default=None,
+            help="write the traced run's JSONL telemetry log here",
+        )
+        p_obs.add_argument(
+            "--chrome-trace", type=pathlib.Path, default=None,
+            help="write the traced run's Chrome/Perfetto trace here",
+        )
 
     p_cmp = sub.add_parser("compare", help="compare two recorded snapshots")
     p_cmp.add_argument("baseline", type=pathlib.Path)
@@ -315,7 +365,10 @@ def main(argv: list[str] | None = None) -> int:
     else:
         print(f"measuring pinned workload ({WORKLOAD['num_reads']} reads, "
               f"k={WORKLOAD['kmer_size']}, n={WORKLOAD['num_hashes']})...")
-        current = collect()
+        current = collect(
+            obs_log=getattr(args, "obs_log", None),
+            chrome_trace=getattr(args, "chrome_trace", None),
+        )
         print(_render(current))
         if command == "run":
             date = args.date or datetime.date.today().isoformat()

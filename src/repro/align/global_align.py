@@ -79,10 +79,26 @@ def global_align(
 ) -> AlignmentResult:
     """Optimal global alignment of two DNA strings.
 
+    The traceback's tie-break among co-optimal alignments (diagonal, then
+    gap-in-b, then gap-in-a) is not invariant under swapping the inputs:
+    equal-score alignments can differ in length, which would make
+    ``identity`` depend on argument order.  The pair is therefore aligned
+    in a canonical order and mirrored back, so ``global_align(a, b)`` and
+    ``global_align(b, a)`` always describe the same alignment.
+
     Raises :class:`~repro.errors.SequenceError` for empty inputs.
     """
     if not seq_a or not seq_b:
         raise SequenceError("cannot align empty sequences")
+    if (len(seq_b), seq_b.upper()) < (len(seq_a), seq_a.upper()):
+        r = global_align(seq_b, seq_a, scheme)
+        return AlignmentResult(
+            aligned_a=r.aligned_b,
+            aligned_b=r.aligned_a,
+            score=r.score,
+            matches=r.matches,
+            length=r.length,
+        )
     scheme = scheme or ScoringScheme()
     a = np.frombuffer(seq_a.upper().encode("ascii"), dtype=np.uint8)
     b = np.frombuffer(seq_b.upper().encode("ascii"), dtype=np.uint8)

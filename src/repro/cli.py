@@ -9,8 +9,13 @@ Subcommands::
     repro pig       FASTA            run the Algorithm 3 Pig script end-to-end
     repro simulate                   modeled runtime for a cluster/input sweep
     repro bench     {table3,table4,table5,figure2}   regenerate a paper table
+    repro obs report RUN.jsonl       summarize a telemetry run log
+    repro obs chrome RUN.jsonl       convert a run log to a Chrome/Perfetto trace
 
 Every command prints to stdout; ``cluster`` also writes ``--output``.
+``cluster`` and ``diversity`` accept ``--obs RUN.jsonl`` and
+``--chrome-trace TRACE.json`` to record the run's telemetry (span tree +
+metrics) for ``repro obs`` to consume.
 """
 
 from __future__ import annotations
@@ -45,6 +50,17 @@ def _add_pipeline_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--obs", metavar="RUN.jsonl", default=None,
+        help="record run telemetry (spans + metrics) to this JSONL log",
+    )
+    parser.add_argument(
+        "--chrome-trace", metavar="TRACE.json", default=None,
+        help="also write a Chrome/Perfetto trace of the run",
+    )
+
+
 def _fit(args) -> tuple:
     records = read_fasta(args.fasta)
     model = MrMCMinH(
@@ -55,7 +71,23 @@ def _fit(args) -> tuple:
         linkage=args.linkage,
         seed=args.seed,
     )
-    return records, model.fit(records)
+    obs_log = getattr(args, "obs", None)
+    chrome_path = getattr(args, "chrome_trace", None)
+    if not obs_log and not chrome_path:
+        return records, model.fit(records)
+
+    from repro.obs import Tracer, write_chrome_trace
+
+    tracer = Tracer()
+    with tracer.activate():
+        run = model.fit(records)
+    if obs_log:
+        tracer.write_jsonl(obs_log)
+        print(f"# telemetry: run log -> {obs_log}", file=sys.stderr)
+    if chrome_path:
+        write_chrome_trace(tracer.spans, chrome_path)
+        print(f"# telemetry: chrome trace -> {chrome_path}", file=sys.stderr)
+    return records, run
 
 
 def cmd_cluster(args) -> int:
@@ -178,6 +210,22 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def cmd_obs_report(args) -> int:
+    from repro.obs import report_from_jsonl
+
+    print(report_from_jsonl(args.run_log).render())
+    return 0
+
+
+def cmd_obs_chrome(args) -> int:
+    from repro.obs import read_jsonl, write_chrome_trace
+
+    spans, _metrics, _meta = read_jsonl(args.run_log)
+    write_chrome_trace(spans, args.output)
+    print(f"wrote {args.output} ({len(spans)} spans)")
+    return 0
+
+
 def cmd_bench(args) -> int:
     scale = ExperimentScale(
         num_reads=args.reads,
@@ -219,6 +267,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--rescue", type=float, default=None, metavar="THETA2",
         help="re-attach singletons to large clusters at this lower threshold",
     )
+    _add_obs_args(p)
     p.set_defaults(fn=cmd_cluster)
 
     p = sub.add_parser("stats", help="sequence-set summary statistics")
@@ -240,6 +289,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("diversity", help="cluster + diversity report")
     _add_pipeline_args(p)
+    _add_obs_args(p)
     p.set_defaults(fn=cmd_diversity)
 
     p = sub.add_parser("pig", help="run the Algorithm 3 Pig script")
@@ -265,13 +315,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--samples", nargs="*", help="sample SIDs (table3/table5)")
     p.set_defaults(fn=cmd_bench)
 
+    p = sub.add_parser("obs", help="telemetry tooling (run logs, reports, traces)")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    pr = obs_sub.add_parser("report", help="summarize a JSONL run log")
+    pr.add_argument("run_log", help="run log from --obs or Tracer.write_jsonl")
+    pr.set_defaults(fn=cmd_obs_report)
+    pc = obs_sub.add_parser(
+        "chrome", help="convert a JSONL run log to a Chrome/Perfetto trace"
+    )
+    pc.add_argument("run_log", help="run log from --obs or Tracer.write_jsonl")
+    pc.add_argument(
+        "-o", "--output", default="trace.json", help="trace file to write"
+    )
+    pc.set_defaults(fn=cmd_obs_chrome)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `repro obs report ... | head`) closed
+        # the pipe; exit quietly like standard unix tools.
+        sys.stderr.close()
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -32,6 +32,7 @@ from repro.mapreduce.counters import Counters
 from repro.mapreduce.hdfs import SimulatedHDFS
 from repro.mapreduce.job import MapReduceJob, identity_reducer
 from repro.mapreduce.runner import SerialRunner
+from repro.obs.trace import current_tracer
 from repro.mapreduce.types import JobConf, JobTrace, TaskTrace
 from repro.minhash.sketch import (
     MinHashSketch,
@@ -231,40 +232,67 @@ class MrMCMinH:
     # ------------------------------------------------------------------ fit
 
     def fit(self, records: Sequence[SequenceRecord]) -> ClusteringRun:
-        """Cluster a sample of sequence records."""
+        """Cluster a sample of sequence records.
+
+        When a :class:`~repro.obs.trace.Tracer` is active the whole run is
+        recorded under a ``pipeline:mrmcminh`` root span with one
+        ``kind="phase"`` child per stage (``phase:sketch``,
+        ``phase:similarity``, ``phase:cluster``); the engine nests its
+        job/task/attempt spans underneath, and pipeline-level gauges
+        (cluster count, sketch throughput, per-phase seconds) land in the
+        tracer's metrics registry.
+        """
         records = list(records)
         if not records:
             raise ClusteringError("cannot cluster an empty sample")
+        tracer = current_tracer()
+        with tracer.span(
+            "pipeline:mrmcminh",
+            kind="pipeline",
+            method=self.method,
+            sparse=self.sparse,
+            num_records=len(records),
+        ):
+            return self._fit_traced(records, tracer)
+
+    def _fit_traced(self, records: list[SequenceRecord], tracer) -> ClusteringRun:
         counters = Counters()
         traces: list[JobTrace] = []
         timings: dict[str, float] = {}
 
         # ---- stage 1: sketch job (encode + k-merize + min-hash) ---------
         t0 = time.perf_counter()
-        sketch_job = MapReduceJob(
-            name="sketch",
-            mapper=_SketchMapper(self.config),
-            batch_mapper=_SketchBatchMapper(self.config),
-            reducer=identity_reducer,
-            wire=(
-                SketchWireCodec(self.wire_bits)
-                if self.wire_bits is not None
-                else None
-            ),
-        )
-        inputs = [(i, (rec.read_id, rec.sequence)) for i, rec in enumerate(records)]
-        result = self.runner.run(
-            sketch_job,
-            inputs,
-            JobConf(num_map_tasks=self.num_map_tasks, num_reduce_tasks=1),
-        )
-        counters.merge(result.counters)
-        if result.trace is not None:
-            traces.append(result.trace)
-        # Output is keyed by input index, so original order is preserved —
-        # the greedy algorithm's "choose the first sequence" depends on it.
-        sketches = [sketch for _, sketch in result.output]
+        with tracer.span("phase:sketch", kind="phase"):
+            sketch_job = MapReduceJob(
+                name="sketch",
+                mapper=_SketchMapper(self.config),
+                batch_mapper=_SketchBatchMapper(self.config),
+                reducer=identity_reducer,
+                wire=(
+                    SketchWireCodec(self.wire_bits)
+                    if self.wire_bits is not None
+                    else None
+                ),
+            )
+            inputs = [
+                (i, (rec.read_id, rec.sequence)) for i, rec in enumerate(records)
+            ]
+            result = self.runner.run(
+                sketch_job,
+                inputs,
+                JobConf(num_map_tasks=self.num_map_tasks, num_reduce_tasks=1),
+            )
+            counters.merge(result.counters)
+            if result.trace is not None:
+                traces.append(result.trace)
+            # Output is keyed by input index, so original order is preserved —
+            # the greedy algorithm's "choose the first sequence" depends on it.
+            sketches = [sketch for _, sketch in result.output]
         timings["sketch"] = time.perf_counter() - t0
+        if timings["sketch"] > 0:
+            tracer.metrics.gauge("pipeline.sketch_reads_per_sec").set(
+                len(sketches) / timings["sketch"]
+            )
         if not sketches:
             raise ClusteringError(
                 f"no sequence produced a {self.config.kmer_size}-mer sketch"
@@ -289,61 +317,70 @@ class MrMCMinH:
             )
 
             t0 = time.perf_counter()
-            # Run the collision join through the engine for its trace;
-            # clustering itself consumes the direct API.
-            _pairs, sim_result = candidate_pairs_mapreduce(
-                sketches,
-                runner=self.runner,
-                num_map_tasks=self.num_map_tasks,
-                num_reduce_tasks=self.num_map_tasks,
-            )
-            counters.merge(sim_result.counters)
-            if sim_result.trace is not None:
-                traces.append(sim_result.trace)
+            with tracer.span("phase:similarity", kind="phase"):
+                # Run the collision join through the engine for its trace;
+                # clustering itself consumes the direct API.
+                _pairs, sim_result = candidate_pairs_mapreduce(
+                    sketches,
+                    runner=self.runner,
+                    num_map_tasks=self.num_map_tasks,
+                    num_reduce_tasks=self.num_map_tasks,
+                )
+                counters.merge(sim_result.counters)
+                if sim_result.trace is not None:
+                    traces.append(sim_result.trace)
             timings["similarity"] = time.perf_counter() - t0
 
             t0 = time.perf_counter()
-            if self.method == "hierarchical":
-                assignment = sparse_single_linkage(sketches, theta)
-            else:
-                assignment = sparse_greedy_cluster(sketches, theta)
+            with tracer.span("phase:cluster", kind="phase"):
+                if self.method == "hierarchical":
+                    assignment = sparse_single_linkage(sketches, theta)
+                else:
+                    assignment = sparse_greedy_cluster(sketches, theta)
             elapsed = time.perf_counter() - t0
             timings["cluster"] = elapsed
             traces.append(_clustering_trace("sparse-cluster", len(sketches), elapsed))
         elif self.method == "hierarchical":
             t0 = time.perf_counter()
-            similarity, sim_result = compute_similarity_matrix(
-                sketches,
-                estimator=self.estimator,
-                runner=self.runner,
-                num_tasks=self.num_map_tasks,
-            )
-            counters.merge(sim_result.counters)
-            if sim_result.trace is not None:
-                traces.append(sim_result.trace)
+            with tracer.span("phase:similarity", kind="phase"):
+                similarity, sim_result = compute_similarity_matrix(
+                    sketches,
+                    estimator=self.estimator,
+                    runner=self.runner,
+                    num_tasks=self.num_map_tasks,
+                )
+                counters.merge(sim_result.counters)
+                if sim_result.trace is not None:
+                    traces.append(sim_result.trace)
             timings["similarity"] = time.perf_counter() - t0
 
             t0 = time.perf_counter()
-            assignment = agglomerative_cluster(
-                similarity,
-                [s.read_id for s in sketches],
-                theta,
-                linkage=self.linkage,
-            )
+            with tracer.span("phase:cluster", kind="phase"):
+                assignment = agglomerative_cluster(
+                    similarity,
+                    [s.read_id for s in sketches],
+                    theta,
+                    linkage=self.linkage,
+                )
             elapsed = time.perf_counter() - t0
             timings["cluster"] = elapsed
             traces.append(_clustering_trace("cluster", len(sketches), elapsed))
         else:
             t0 = time.perf_counter()
-            assignment = greedy_cluster(
-                sketches, theta, estimator=self.estimator
-            )
+            with tracer.span("phase:cluster", kind="phase"):
+                assignment = greedy_cluster(
+                    sketches, theta, estimator=self.estimator
+                )
             elapsed = time.perf_counter() - t0
             timings["cluster"] = elapsed
             traces.append(_clustering_trace("greedy-cluster", len(sketches), elapsed))
 
         counters.increment("pipeline", "sequences_clustered", len(sketches))
         counters.increment("pipeline", "clusters", assignment.num_clusters)
+        tracer.metrics.gauge("pipeline.sequences").set(len(sketches))
+        tracer.metrics.gauge("pipeline.clusters").set(assignment.num_clusters)
+        for phase, seconds in timings.items():
+            tracer.metrics.gauge(f"pipeline.phase_seconds.{phase}").set(seconds)
         return ClusteringRun(
             assignment=assignment,
             sketches=sketches,

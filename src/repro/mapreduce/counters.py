@@ -4,10 +4,18 @@ Counters are grouped (``group:name``) and additive; mappers and reducers
 receive a counters object through their optional ``context`` and the
 runner merges per-task counters into the job result, mirroring how Hadoop
 aggregates task counters at the JobTracker.
+
+Aggregation is deterministic: :meth:`Counters.merge` re-canonicalises the
+store into sorted key order after every merge, so no matter in which order
+worker-local counters arrive (the multiprocess runner's completion order
+varies run to run), two runs of the same seed produce byte-identical
+counter dumps — ``as_dict``, iteration, ``repr``, pickling and
+:meth:`Counters.dump_json` all observe the same sorted order.
 """
 
 from __future__ import annotations
 
+import json
 from collections import defaultdict
 from collections.abc import Iterator
 
@@ -27,9 +35,23 @@ class Counters:
         return self._values.get((group, name), 0)
 
     def merge(self, other: "Counters") -> None:
-        """Add all of ``other``'s counters into this object."""
-        for key, value in other._values.items():
-            self._values[key] += value
+        """Add all of ``other``'s counters into this object.
+
+        Keys are folded in — and the whole store re-ordered — in sorted
+        key order, so the aggregate's internal ordering is independent of
+        the order tasks completed in.
+        """
+        for key in sorted(other._values):
+            self._values[key] += other._values[key]
+        self._values = defaultdict(
+            int, {key: self._values[key] for key in sorted(self._values)}
+        )
+
+    def dump_json(self) -> str:
+        """Canonical JSON dump (sorted groups and names, no whitespace
+        variance) — byte-identical across runs that produced the same
+        counter values."""
+        return json.dumps(self.as_dict(), sort_keys=True, separators=(",", ":"))
 
     def total(self, group: str) -> int:
         """Sum of every counter in ``group`` (0 for an unknown group)."""

@@ -23,6 +23,15 @@ Execution is fault tolerant, mirroring the Hadoop TaskTracker protocol:
   retried;
 * a :class:`~repro.mapreduce.faults.JobCheckpoint` restores completed
   task outputs so a killed job resumes from the last barrier.
+
+When a :class:`~repro.obs.trace.Tracer` is active in the driver, each
+worker attempt records its own spans on a throw-away worker-local tracer
+and ships them back with the attempt result; the driver merges them at
+the task barrier (:meth:`~repro.obs.trace.Tracer.merge_payload` rebases
+clocks and re-parents under the driver-side task span), so the final
+span tree nests job -> stage -> task -> attempt across process
+boundaries, with worker spans keeping their real OS pid.  Failed and
+abandoned attempts are synthesised driver-side from observed timing.
 """
 
 from __future__ import annotations
@@ -45,6 +54,7 @@ from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.runner import JobResult, SerialRunner, _approx_bytes, _median
 from repro.mapreduce.shuffle import shuffle
 from repro.mapreduce.types import JobConf, JobTrace, TaskTrace
+from repro.obs.trace import NULL_TRACER, Tracer, current_tracer
 from repro.utils.chunking import chunk_indices
 
 _POLL_INTERVAL = 0.002
@@ -53,38 +63,48 @@ _POLL_INTERVAL = 0.002
 def _attempt_worker(args):
     """One task attempt, executed inside a pool worker (or inline).
 
-    Returns ``(records, task_counters, checksum, wall_seconds)``.  The
-    checksum is computed *before* any injected corruption — it models the
-    producer-side IFile checksum that travels with the data; the driver
-    recomputes it on receipt.  ``inline_deadline`` is only set on the
-    single-worker path, where a hung attempt cannot be abandoned from
-    outside and must give up by itself.
+    Returns ``(records, task_counters, checksum, wall_seconds, obs)``.
+    The checksum is computed *before* any injected corruption — it models
+    the producer-side IFile checksum that travels with the data; the
+    driver recomputes it on receipt.  ``inline_deadline`` is only set on
+    the single-worker path, where a hung attempt cannot be abandoned from
+    outside and must give up by itself.  With ``obs_on``, the attempt is
+    recorded on a worker-local tracer whose span payload rides back in
+    ``obs`` for the driver to merge at the barrier (crashed attempts
+    return nothing — the driver synthesises their spans).
     """
-    job, kind, index, attempt, payload, plan, task_id, inline_deadline = args
+    job, kind, index, attempt, payload, plan, task_id, inline_deadline, obs_on = args
+    tracer = Tracer() if obs_on else NULL_TRACER
     fault = plan.fault_for(job.name, kind, index, attempt) if plan is not None else None
     t0 = time.perf_counter()
-    if fault is not None and fault.kind == "crash":
-        raise FaultError(
-            fault.reason or "injected crash", task_id=task_id, attempt=attempt
-        )
-    if fault is not None and fault.kind == "hang":
-        if inline_deadline is not None and fault.delay >= inline_deadline:
+    with tracer.span(
+        f"attempt:{attempt}", kind="attempt", attempt=attempt, task_id=task_id
+    ) as span:
+        if fault is not None:
+            span.attrs["fault"] = fault.kind
+        if fault is not None and fault.kind == "crash":
             raise FaultError(
-                f"attempt abandoned at task_timeout={inline_deadline}s "
-                f"(hang of {fault.delay}s)",
-                task_id=task_id,
-                attempt=attempt,
+                fault.reason or "injected crash", task_id=task_id, attempt=attempt
             )
-        time.sleep(fault.delay)
-    if kind == "map":
-        out, task_counters = _map_body(job, payload)
-    else:
-        out, task_counters = _reduce_body(job, payload)
-    checksum = records_checksum(out) if plan is not None else None
-    if fault is not None and fault.kind == "corrupt":
-        out = FaultPlan.corrupt_records(out, task_id)
+        if fault is not None and fault.kind == "hang":
+            if inline_deadline is not None and fault.delay >= inline_deadline:
+                raise FaultError(
+                    f"attempt abandoned at task_timeout={inline_deadline}s "
+                    f"(hang of {fault.delay}s)",
+                    task_id=task_id,
+                    attempt=attempt,
+                )
+            time.sleep(fault.delay)
+        if kind == "map":
+            out, task_counters = _map_body(job, payload)
+        else:
+            out, task_counters = _reduce_body(job, payload)
+        checksum = records_checksum(out) if plan is not None else None
+        if fault is not None and fault.kind == "corrupt":
+            out = FaultPlan.corrupt_records(out, task_id)
     wall = time.perf_counter() - t0
-    return out, task_counters, checksum, wall
+    obs = tracer.export_payload() if obs_on else None
+    return out, task_counters, checksum, wall, obs
 
 
 def _map_body(job: MapReduceJob, split) -> tuple[list, Counters]:
@@ -140,6 +160,7 @@ class _Attempt:
     number: int  # 1-based attempt number
     result: object  # AsyncResult
     started: float
+    started_rel: float = 0.0  # submit time on the active tracer's clock
     speculative: bool = False
     abandoned: bool = False
 
@@ -225,70 +246,87 @@ class MultiprocessRunner:
             effective.ensure_picklable()
             ctx = get_context("spawn" if os.name == "nt" else "fork")
             pool = ctx.Pool(self.num_workers)
+        tracer = current_tracer()
         try:
-            if plan is not None:
-                plan.trigger_barrier("job_start", counters)
+            with tracer.span(
+                f"job:{job.name}", kind="job", job=job.name, runner="multiprocess",
+                workers=self.num_workers,
+            ) as job_span:
+                if plan is not None:
+                    plan.trigger_barrier("job_start", counters)
 
-            splits = [
-                list(inputs[start:stop])
-                for start, stop in chunk_indices(len(inputs), conf.num_map_tasks)
-            ]
-            map_states = self._run_phase(
-                pool,
-                effective,
-                kind="map",
-                payloads=splits,
-                records_in=[len(s) for s in splits],
-                policy=policy,
-                plan=plan,
-                checkpoint=ckpt,
-                counters=counters,
-            )
-            map_outputs = [s.output for s in map_states]
-            for state in map_states:
-                counters.merge(state.counters)
+                splits = [
+                    list(inputs[start:stop])
+                    for start, stop in chunk_indices(len(inputs), conf.num_map_tasks)
+                ]
+                with tracer.span("map", kind="stage"):
+                    map_states = self._run_phase(
+                        pool,
+                        effective,
+                        kind="map",
+                        payloads=splits,
+                        records_in=[len(s) for s in splits],
+                        policy=policy,
+                        plan=plan,
+                        checkpoint=ckpt,
+                        counters=counters,
+                    )
+                map_outputs = [s.output for s in map_states]
+                for state in map_states:
+                    counters.merge(state.counters)
+                    if trace is not None:
+                        trace.map_tasks.append(self._task_trace(state, "map"))
+                counters.increment("job", "map_input_records", len(inputs))
+                counters.increment(
+                    "job", "map_output_records", sum(len(o) for o in map_outputs)
+                )
+
+                if plan is not None:
+                    plan.trigger_barrier("map_end", counters)
+
+                with tracer.span("shuffle", kind="stage") as shuffle_span:
+                    if job.wire is not None:
+                        from repro.mapreduce.runner import _through_wire
+
+                        map_outputs = _through_wire(job, map_outputs, counters, trace)
+                    partitions, moved = shuffle(
+                        map_outputs, conf.num_reduce_tasks, job.partitioner
+                    )
+                    counters.increment("job", "shuffle_records", moved)
+                    if trace is not None and job.wire is None:
+                        trace.shuffle_bytes = sum(
+                            _approx_bytes(p) for p in map_outputs
+                        )
+                    shuffle_span.attrs["records"] = moved
+
+                with tracer.span("reduce", kind="stage"):
+                    reduce_states = self._run_phase(
+                        pool,
+                        effective,
+                        kind="reduce",
+                        payloads=partitions,
+                        records_in=[sum(len(v) for _, v in p) for p in partitions],
+                        policy=policy,
+                        plan=plan,
+                        checkpoint=ckpt,
+                        counters=counters,
+                    )
+                output: list[tuple] = []
+                for state in reduce_states:
+                    counters.merge(state.counters)
+                    if trace is not None:
+                        trace.reduce_tasks.append(self._task_trace(state, "reduce"))
+                    output.extend(state.output)
+                counters.increment("job", "reduce_output_records", len(output))
+
+                if plan is not None:
+                    plan.trigger_barrier("job_end", counters)
+
                 if trace is not None:
-                    trace.map_tasks.append(self._task_trace(state, "map"))
-            counters.increment("job", "map_input_records", len(inputs))
-            counters.increment(
-                "job", "map_output_records", sum(len(o) for o in map_outputs)
-            )
-
-            if plan is not None:
-                plan.trigger_barrier("map_end", counters)
-
-            if job.wire is not None:
-                from repro.mapreduce.runner import _through_wire
-
-                map_outputs = _through_wire(job, map_outputs, counters, trace)
-            partitions, moved = shuffle(
-                map_outputs, conf.num_reduce_tasks, job.partitioner
-            )
-            counters.increment("job", "shuffle_records", moved)
-            if trace is not None and job.wire is None:
-                trace.shuffle_bytes = sum(_approx_bytes(p) for p in map_outputs)
-
-            reduce_states = self._run_phase(
-                pool,
-                effective,
-                kind="reduce",
-                payloads=partitions,
-                records_in=[sum(len(v) for _, v in p) for p in partitions],
-                policy=policy,
-                plan=plan,
-                checkpoint=ckpt,
-                counters=counters,
-            )
-            output: list[tuple] = []
-            for state in reduce_states:
-                counters.merge(state.counters)
-                if trace is not None:
-                    trace.reduce_tasks.append(self._task_trace(state, "reduce"))
-                output.extend(state.output)
-            counters.increment("job", "reduce_output_records", len(output))
-
-            if plan is not None:
-                plan.trigger_barrier("job_end", counters)
+                    job_span.attrs["shuffle_bytes"] = trace.shuffle_bytes
+                elif job.wire is not None:
+                    job_span.attrs["shuffle_bytes"] = counters.get("wire", "bytes_wire")
+                tracer.metrics.record_counters(counters)
         finally:
             if pool is not None:
                 pool.terminate()
@@ -327,6 +365,8 @@ class MultiprocessRunner:
             for i, payload in enumerate(payloads)
         ]
 
+        tracer = current_tracer()
+        phase_span = tracer.current_span()
         pending: list[_TaskState] = []
         for state in states:
             if checkpoint is not None and checkpoint.has(state.task_id):
@@ -341,6 +381,12 @@ class MultiprocessRunner:
                 state.done = True
                 state.recovered = True
                 counters.increment("fault", "tasks_recovered_from_checkpoint")
+                if tracer.enabled:
+                    span = tracer.start(
+                        f"task:{state.task_id}", kind="task", parent=phase_span,
+                        task_id=state.task_id, task_kind=kind, recovered=True,
+                    )
+                    tracer.finish(span)
                 if plan is not None:
                     plan.note_task_complete()
             else:
@@ -391,46 +437,78 @@ class MultiprocessRunner:
         counters: Counters,
     ) -> None:
         """Single-worker degradation: serial attempt loop, same semantics."""
+        tracer = current_tracer()
         for state in pending:
             speculative_retry = False
-            while True:
-                state.attempts_launched += 1
-                attempt = state.attempts_launched
-                try:
-                    out, task_counters, checksum, wall = _attempt_worker(
-                        (
-                            job,
-                            kind,
-                            state.index,
-                            attempt,
-                            state.payload,
-                            plan,
-                            state.task_id,
-                            policy.timeout,
+            with tracer.span(
+                f"task:{state.task_id}", kind="task",
+                task_id=state.task_id, task_kind=kind,
+            ) as task_span:
+                while True:
+                    state.attempts_launched += 1
+                    attempt = state.attempts_launched
+                    started_rel = tracer.now()
+                    obs_payload = None
+                    try:
+                        out, task_counters, checksum, wall, obs_payload = (
+                            _attempt_worker(
+                                (
+                                    job,
+                                    kind,
+                                    state.index,
+                                    attempt,
+                                    state.payload,
+                                    plan,
+                                    state.task_id,
+                                    policy.timeout,
+                                    tracer.enabled,
+                                )
+                            )
                         )
-                    )
-                    self._verify_checksum(out, checksum, state.task_id, attempt)
-                except FaultError as exc:
-                    self._note_failure(state, str(exc), policy, counters, exc)
-                except Exception as exc:
-                    if policy.max_attempts == 1:
-                        raise
-                    self._note_failure(
-                        state, f"{type(exc).__name__}: {exc}", policy, counters, exc
-                    )
-                else:
-                    state.output = out
-                    state.counters = task_counters
-                    state.wall = wall
-                    state.done = True
-                    if speculative_retry:
-                        state.speculative_win = True
-                        counters.increment("fault", "speculative_wins")
-                    break
-                speculative_retry = policy.speculative_margin > 0
-                delay = policy.backoff_delay(attempt)
-                if delay > 0:
-                    time.sleep(delay)
+                        self._verify_checksum(out, checksum, state.task_id, attempt)
+                    except FaultError as exc:
+                        injected = (
+                            plan.fault_for(job.name, kind, state.index, attempt)
+                            if plan is not None
+                            else None
+                        )
+                        self._attempt_telemetry(
+                            tracer, task_span, obs_payload, started_rel, attempt,
+                            state.task_id, error=str(exc),
+                            fault=injected.kind if injected else None,
+                            speculative=speculative_retry,
+                        )
+                        self._note_failure(state, str(exc), policy, counters, exc)
+                    except Exception as exc:
+                        if policy.max_attempts == 1:
+                            raise
+                        self._attempt_telemetry(
+                            tracer, task_span, obs_payload, started_rel, attempt,
+                            state.task_id, error=f"{type(exc).__name__}: {exc}",
+                            speculative=speculative_retry,
+                        )
+                        self._note_failure(
+                            state, f"{type(exc).__name__}: {exc}", policy,
+                            counters, exc,
+                        )
+                    else:
+                        self._attempt_telemetry(
+                            tracer, task_span, obs_payload, started_rel, attempt,
+                            state.task_id, speculative=speculative_retry,
+                            win=speculative_retry,
+                        )
+                        state.output = out
+                        state.counters = task_counters
+                        state.wall = wall
+                        state.done = True
+                        if speculative_retry:
+                            state.speculative_win = True
+                            counters.increment("fault", "speculative_wins")
+                        break
+                    speculative_retry = policy.speculative_margin > 0
+                    delay = policy.backoff_delay(attempt)
+                    if delay > 0:
+                        time.sleep(delay)
 
     def _run_phase_pool(
         self,
@@ -444,10 +522,19 @@ class MultiprocessRunner:
         counters: Counters,
     ) -> None:
         """Asynchronous attempt scheduling with timeouts and speculation."""
+        tracer = current_tracer()
+        phase_span = tracer.current_span()
         by_index = {s.index: s for s in pending}
         active: list[_Attempt] = []
         next_backoff_at: dict[int, float] = {}
         completed_durations: list[float] = []
+        task_spans: dict[int, object] = {}
+        if tracer.enabled:
+            for state in pending:
+                task_spans[state.index] = tracer.start(
+                    f"task:{state.task_id}", kind="task", parent=phase_span,
+                    task_id=state.task_id, task_kind=kind,
+                )
 
         def submit(state: _TaskState, *, speculative: bool) -> None:
             state.attempts_launched += 1
@@ -461,6 +548,7 @@ class MultiprocessRunner:
                 plan,
                 state.task_id,
                 None,
+                tracer.enabled,
             )
             active.append(
                 _Attempt(
@@ -468,6 +556,7 @@ class MultiprocessRunner:
                     number=attempt_no,
                     result=pool.apply_async(_attempt_worker, (args,)),
                     started=time.monotonic(),
+                    started_rel=tracer.now(),
                     speculative=speculative,
                 )
             )
@@ -486,12 +575,29 @@ class MultiprocessRunner:
                     progressed = True
                     if state.done or att.abandoned:
                         continue  # loser of a race / killed attempt: discard
+                    obs_payload = None
                     try:
-                        out, task_counters, checksum, wall = att.result.get()
+                        out, task_counters, checksum, wall, obs_payload = (
+                            att.result.get()
+                        )
                         self._verify_checksum(
                             out, checksum, state.task_id, att.number
                         )
                     except FaultError as exc:
+                        injected = (
+                            plan.fault_for(
+                                job.name, kind, att.index, att.number
+                            )
+                            if plan is not None
+                            else None
+                        )
+                        self._attempt_telemetry(
+                            tracer, task_spans.get(att.index), obs_payload,
+                            att.started_rel, att.number, state.task_id,
+                            error=str(exc),
+                            fault=injected.kind if injected else None,
+                            speculative=att.speculative,
+                        )
                         self._handle_pool_failure(
                             state, str(exc), policy, counters, exc, active,
                             next_backoff_at,
@@ -499,6 +605,12 @@ class MultiprocessRunner:
                     except Exception as exc:
                         if policy.max_attempts == 1:
                             raise
+                        self._attempt_telemetry(
+                            tracer, task_spans.get(att.index), obs_payload,
+                            att.started_rel, att.number, state.task_id,
+                            error=f"{type(exc).__name__}: {exc}",
+                            speculative=att.speculative,
+                        )
                         self._handle_pool_failure(
                             state,
                             f"{type(exc).__name__}: {exc}",
@@ -509,6 +621,13 @@ class MultiprocessRunner:
                             next_backoff_at,
                         )
                     else:
+                        self._attempt_telemetry(
+                            tracer, task_spans.get(att.index), obs_payload,
+                            att.started_rel, att.number, state.task_id,
+                            speculative=att.speculative, win=att.speculative,
+                        )
+                        if tracer.enabled and att.index in task_spans:
+                            tracer.finish(task_spans[att.index])
                         state.output = out
                         state.counters = task_counters
                         state.wall = wall
@@ -527,6 +646,13 @@ class MultiprocessRunner:
                     # arrival (the analogue of killing the attempt).
                     att.abandoned = True
                     progressed = True
+                    self._attempt_telemetry(
+                        tracer, task_spans.get(att.index), None,
+                        att.started_rel, att.number, state.task_id,
+                        error=f"attempt abandoned after task_timeout="
+                              f"{policy.timeout}s",
+                        speculative=att.speculative,
+                    )
                     self._handle_pool_failure(
                         state,
                         f"attempt abandoned after task_timeout={policy.timeout}s",
@@ -563,6 +689,54 @@ class MultiprocessRunner:
 
             if not progressed:
                 time.sleep(_POLL_INTERVAL)
+
+    @staticmethod
+    def _attempt_telemetry(
+        tracer,
+        task_span,
+        obs_payload: dict | None,
+        started_rel: float,
+        attempt: int,
+        task_id: str,
+        *,
+        error: str | None = None,
+        fault: str | None = None,
+        speculative: bool = False,
+        win: bool = False,
+    ) -> None:
+        """Land one attempt's spans in the driver tracer.
+
+        Successful attempts ship their own worker-recorded spans
+        (``obs_payload``) which are merged under the driver-side task span
+        with clocks rebased; crashed/abandoned attempts produced nothing,
+        so a span is synthesised from the driver-observed window and the
+        injected fault's kind (re-read from the deterministic plan) is
+        tagged on.  Either way, failed and retried attempts end up as
+        sibling ``attempt`` spans under one ``task`` span.
+        """
+        if not tracer.enabled:
+            return
+        if obs_payload is not None:
+            merged = tracer.merge_payload(obs_payload, parent=task_span)
+            parent_id = task_span.span_id if task_span is not None else None
+            spans = [s for s in merged if s.parent_id == parent_id] or merged
+        else:
+            span = tracer.start(
+                f"attempt:{attempt}", kind="attempt", parent=task_span,
+                start_s=started_rel, attempt=attempt, task_id=task_id,
+            )
+            tracer.finish(span)
+            spans = [span]
+        for span in spans:
+            if speculative:
+                span.attrs["speculative"] = True
+            if win:
+                span.attrs["speculative_win"] = True
+            if fault is not None:
+                span.attrs.setdefault("fault", fault)
+            if error is not None:
+                span.status = "error"
+                span.attrs["error"] = error
 
     @staticmethod
     def _note_failure(

@@ -16,6 +16,13 @@ killed job resumes from the last barrier.  A
 :class:`~repro.mapreduce.faults.FaultPlan` injects deterministic faults
 for chaos testing.  Attempt history lands in the trace and in the
 ``fault`` counter group.
+
+When a :class:`~repro.obs.trace.Tracer` is active, execution also emits
+telemetry: a ``job`` span wrapping ``map``/``shuffle``/``reduce`` stage
+spans, one ``task`` span per task, and one ``attempt`` span per attempt —
+failed attempts and their successful retries appear as sibling spans with
+the injected fault tagged — plus job counters adapted into the tracer's
+metrics registry.  With no tracer active all instrumentation is no-op.
 """
 
 from __future__ import annotations
@@ -37,6 +44,7 @@ from repro.mapreduce.faults import (
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.shuffle import shuffle
 from repro.mapreduce.types import JobConf, JobTrace, TaskTrace
+from repro.obs.trace import current_tracer
 from repro.utils.chunking import chunk_indices
 
 
@@ -90,6 +98,8 @@ def _through_wire(
     counters.increment("wire", "frames", len(frames))
     counters.increment("wire", "bytes_raw", raw)
     counters.increment("wire", "bytes_wire", on_wire)
+    if raw > 0:
+        current_tracer().metrics.gauge("mr.wire.compression_ratio").set(on_wire / raw)
     if trace is not None:
         trace.shuffle_bytes = on_wire
     return [job.wire.decode_records(frame) for frame in frames]
@@ -145,73 +155,91 @@ class SerialRunner:
         policy = retry or self.retry or RetryPolicy.from_conf(conf)
         counters = Counters()
         trace = JobTrace(job_name=job.name) if self.trace else None
+        tracer = current_tracer()
 
-        if plan is not None:
-            plan.trigger_barrier("job_start", counters)
+        with tracer.span(
+            f"job:{job.name}", kind="job", job=job.name, runner="serial"
+        ) as job_span:
+            if plan is not None:
+                plan.trigger_barrier("job_start", counters)
 
-        # ---- map phase, split into conf.num_map_tasks tasks -------------
-        map_outputs: list[list[tuple]] = []
-        map_durations: list[float] = []
-        for t, (start, stop) in enumerate(chunk_indices(len(inputs), conf.num_map_tasks)):
-            split = inputs[start:stop]
-            task_trace, out = self._execute_task(
-                job=job,
-                kind="map",
-                index=t,
-                task_id=f"{job.name}-m{t:04d}",
-                body=lambda split=split: self._map_split(job, split, conf),
-                records_in=len(split),
-                bytes_in=_approx_bytes(split) if self.trace else 0,
-                policy=policy,
-                plan=plan,
-                checkpoint=ckpt,
-                counters=counters,
-                completed_durations=map_durations,
-            )
-            counters.increment("job", "map_input_records", len(split))
-            counters.increment("job", "map_output_records", len(out))
+            # ---- map phase, split into conf.num_map_tasks tasks ---------
+            map_outputs: list[list[tuple]] = []
+            map_durations: list[float] = []
+            with tracer.span("map", kind="stage"):
+                for t, (start, stop) in enumerate(
+                    chunk_indices(len(inputs), conf.num_map_tasks)
+                ):
+                    split = inputs[start:stop]
+                    task_trace, out = self._execute_task(
+                        job=job,
+                        kind="map",
+                        index=t,
+                        task_id=f"{job.name}-m{t:04d}",
+                        body=lambda split=split: self._map_split(job, split, conf),
+                        records_in=len(split),
+                        bytes_in=_approx_bytes(split) if self.trace else 0,
+                        policy=policy,
+                        plan=plan,
+                        checkpoint=ckpt,
+                        counters=counters,
+                        completed_durations=map_durations,
+                    )
+                    counters.increment("job", "map_input_records", len(split))
+                    counters.increment("job", "map_output_records", len(out))
+                    if trace is not None:
+                        trace.map_tasks.append(task_trace)
+                    map_outputs.append(out)
+
+            if plan is not None:
+                plan.trigger_barrier("map_end", counters)
+
+            # ---- shuffle -------------------------------------------------
+            with tracer.span("shuffle", kind="stage") as shuffle_span:
+                if job.wire is not None:
+                    map_outputs = _through_wire(job, map_outputs, counters, trace)
+                partitions, moved = shuffle(
+                    map_outputs, conf.num_reduce_tasks, job.partitioner
+                )
+                counters.increment("job", "shuffle_records", moved)
+                if trace is not None and job.wire is None:
+                    trace.shuffle_bytes = sum(_approx_bytes(p) for p in map_outputs)
+                shuffle_span.attrs["records"] = moved
+
+            # ---- reduce phase -------------------------------------------
+            output: list[tuple] = []
+            reduce_durations: list[float] = []
+            with tracer.span("reduce", kind="stage"):
+                for r, groups in enumerate(partitions):
+                    records_in = sum(len(vals) for _, vals in groups)
+                    task_trace, out = self._execute_task(
+                        job=job,
+                        kind="reduce",
+                        index=r,
+                        task_id=f"{job.name}-r{r:04d}",
+                        body=lambda groups=groups: self._reduce_groups(job, groups),
+                        records_in=records_in,
+                        bytes_in=0,
+                        policy=policy,
+                        plan=plan,
+                        checkpoint=ckpt,
+                        counters=counters,
+                        completed_durations=reduce_durations,
+                    )
+                    counters.increment("job", "reduce_input_records", records_in)
+                    counters.increment("job", "reduce_output_records", len(out))
+                    if trace is not None:
+                        trace.reduce_tasks.append(task_trace)
+                    output.extend(out)
+
+            if plan is not None:
+                plan.trigger_barrier("job_end", counters)
+
             if trace is not None:
-                trace.map_tasks.append(task_trace)
-            map_outputs.append(out)
-
-        if plan is not None:
-            plan.trigger_barrier("map_end", counters)
-
-        # ---- shuffle -----------------------------------------------------
-        if job.wire is not None:
-            map_outputs = _through_wire(job, map_outputs, counters, trace)
-        partitions, moved = shuffle(map_outputs, conf.num_reduce_tasks, job.partitioner)
-        counters.increment("job", "shuffle_records", moved)
-        if trace is not None and job.wire is None:
-            trace.shuffle_bytes = sum(_approx_bytes(p) for p in map_outputs)
-
-        # ---- reduce phase -------------------------------------------------
-        output: list[tuple] = []
-        reduce_durations: list[float] = []
-        for r, groups in enumerate(partitions):
-            records_in = sum(len(vals) for _, vals in groups)
-            task_trace, out = self._execute_task(
-                job=job,
-                kind="reduce",
-                index=r,
-                task_id=f"{job.name}-r{r:04d}",
-                body=lambda groups=groups: self._reduce_groups(job, groups),
-                records_in=records_in,
-                bytes_in=0,
-                policy=policy,
-                plan=plan,
-                checkpoint=ckpt,
-                counters=counters,
-                completed_durations=reduce_durations,
-            )
-            counters.increment("job", "reduce_input_records", records_in)
-            counters.increment("job", "reduce_output_records", len(out))
-            if trace is not None:
-                trace.reduce_tasks.append(task_trace)
-            output.extend(out)
-
-        if plan is not None:
-            plan.trigger_barrier("job_end", counters)
+                job_span.attrs["shuffle_bytes"] = trace.shuffle_bytes
+            elif job.wire is not None:
+                job_span.attrs["shuffle_bytes"] = counters.get("wire", "bytes_wire")
+            tracer.metrics.record_counters(counters)
 
         if conf.sort_output:
             try:
@@ -237,11 +265,12 @@ class SerialRunner:
         traces: list[JobTrace] = []
         current: Sequence[tuple] = inputs
         result: JobResult | None = None
-        for job, conf in jobs:
-            result = self.run(job, list(current), conf)
-            if result.trace is not None:
-                traces.append(result.trace)
-            current = result.output
+        with current_tracer().span("chain", kind="chain", jobs=len(jobs)):
+            for job, conf in jobs:
+                result = self.run(job, list(current), conf)
+                if result.trace is not None:
+                    traces.append(result.trace)
+                current = result.output
         assert result is not None
         return result, traces
 
@@ -265,50 +294,58 @@ class SerialRunner:
     ) -> tuple[TaskTrace, list[tuple]]:
         """Run one task to completion: checkpoint recovery, attempt loop,
         counter merging and trace assembly."""
-        if checkpoint is not None and checkpoint.has(task_id):
-            payload = checkpoint.load(task_id)
-            out = payload["output"]
-            counters.merge(payload["counters"])
-            counters.increment("fault", "tasks_recovered_from_checkpoint")
-            task_trace: TaskTrace = payload["trace"]
-            task_trace.recovered = True
+        tracer = current_tracer()
+        with tracer.span(
+            f"task:{task_id}", kind="task", task_id=task_id, task_kind=kind
+        ) as task_span:
+            if checkpoint is not None and checkpoint.has(task_id):
+                payload = checkpoint.load(task_id)
+                out = payload["output"]
+                counters.merge(payload["counters"])
+                counters.increment("fault", "tasks_recovered_from_checkpoint")
+                task_trace: TaskTrace = payload["trace"]
+                task_trace.recovered = True
+                task_span.attrs["recovered"] = True
+                if plan is not None:
+                    plan.note_task_complete()
+                return task_trace, out
+
+            out, task_counters, elapsed, attempts, failures, spec_win = (
+                self._run_attempts(
+                    job=job,
+                    kind=kind,
+                    index=index,
+                    task_id=task_id,
+                    body=body,
+                    policy=policy,
+                    plan=plan,
+                    counters=counters,
+                    completed_durations=completed_durations,
+                )
+            )
+            completed_durations.append(elapsed)
+            counters.merge(task_counters)
+            tracer.metrics.histogram("mr.task_seconds").observe(elapsed)
+            task_trace = TaskTrace(
+                task_id=task_id,
+                kind=kind,
+                records_in=records_in,
+                records_out=len(out),
+                bytes_in=bytes_in,
+                bytes_out=_approx_bytes(out) if self.trace else 0,
+                cpu_seconds=elapsed,
+                attempts=attempts,
+                failures=failures,
+                speculative_win=spec_win,
+            )
+            if checkpoint is not None:
+                checkpoint.save(
+                    task_id,
+                    {"output": out, "counters": task_counters, "trace": task_trace},
+                )
             if plan is not None:
                 plan.note_task_complete()
             return task_trace, out
-
-        out, task_counters, elapsed, attempts, failures, spec_win = self._run_attempts(
-            job=job,
-            kind=kind,
-            index=index,
-            task_id=task_id,
-            body=body,
-            policy=policy,
-            plan=plan,
-            counters=counters,
-            completed_durations=completed_durations,
-        )
-        completed_durations.append(elapsed)
-        counters.merge(task_counters)
-        task_trace = TaskTrace(
-            task_id=task_id,
-            kind=kind,
-            records_in=records_in,
-            records_out=len(out),
-            bytes_in=bytes_in,
-            bytes_out=_approx_bytes(out) if self.trace else 0,
-            cpu_seconds=elapsed,
-            attempts=attempts,
-            failures=failures,
-            speculative_win=spec_win,
-        )
-        if checkpoint is not None:
-            checkpoint.save(
-                task_id,
-                {"output": out, "counters": task_counters, "trace": task_trace},
-            )
-        if plan is not None:
-            plan.note_task_complete()
-        return task_trace, out
 
     def _run_attempts(
         self,
@@ -331,6 +368,7 @@ class SerialRunner:
         (failed attempts' counter increments are discarded — exactly-once
         side effects, like Hadoop's committed task outputs).
         """
+        tracer = current_tracer()
         failures: list[str] = []
         speculative_attempt = False  # next attempt is a speculative backup
         spec_win = False
@@ -338,54 +376,66 @@ class SerialRunner:
         while True:
             attempt += 1
             fault = plan.fault_for(job.name, kind, index, attempt) if plan else None
-            try:
-                if fault is not None and fault.kind == "crash":
-                    raise FaultError(
-                        fault.reason or "injected crash",
-                        task_id=task_id,
-                        attempt=attempt,
-                    )
-                if fault is not None and fault.kind == "hang":
-                    self._handle_hang(
-                        fault, policy, task_id, attempt, completed_durations
-                    )
-                t0 = time.perf_counter()
-                out, task_counters = body()
-                elapsed = time.perf_counter() - t0
-                if fault is not None and fault.kind == "corrupt":
-                    # Checksum at production; corruption strikes in transit;
-                    # the runner verifies on receipt (IFile-checksum model).
-                    produced_crc = records_checksum(out)
-                    delivered = FaultPlan.corrupt_records(out, task_id)
-                    if records_checksum(delivered) != produced_crc:
+            with tracer.span(
+                f"attempt:{attempt}", kind="attempt", attempt=attempt, task_id=task_id
+            ) as attempt_span:
+                if fault is not None:
+                    attempt_span.attrs["fault"] = fault.kind
+                if speculative_attempt:
+                    attempt_span.attrs["speculative"] = True
+                try:
+                    if fault is not None and fault.kind == "crash":
                         raise FaultError(
-                            "corrupted shuffle partition (checksum mismatch)",
+                            fault.reason or "injected crash",
                             task_id=task_id,
                             attempt=attempt,
                         )
-                    out = delivered  # pragma: no cover - corruption always detected
-                if speculative_attempt:
-                    spec_win = True
-                    counters.increment("fault", "speculative_wins")
-                return out, task_counters, elapsed, attempt, failures, spec_win
-            except FaultError as exc:
-                speculative_attempt = getattr(exc, "speculative", False)
-                self._record_failure(
-                    counters, failures, str(exc), task_id, attempt, policy, exc
-                )
-            except Exception as exc:
-                if policy.max_attempts == 1:
-                    raise  # no retries configured: propagate user errors as-is
-                speculative_attempt = False
-                self._record_failure(
-                    counters,
-                    failures,
-                    f"{type(exc).__name__}: {exc}",
-                    task_id,
-                    attempt,
-                    policy,
-                    exc,
-                )
+                    if fault is not None and fault.kind == "hang":
+                        self._handle_hang(
+                            fault, policy, task_id, attempt, completed_durations
+                        )
+                    t0 = time.perf_counter()
+                    out, task_counters = body()
+                    elapsed = time.perf_counter() - t0
+                    if fault is not None and fault.kind == "corrupt":
+                        # Checksum at production; corruption strikes in transit;
+                        # the runner verifies on receipt (IFile-checksum model).
+                        produced_crc = records_checksum(out)
+                        delivered = FaultPlan.corrupt_records(out, task_id)
+                        if records_checksum(delivered) != produced_crc:
+                            raise FaultError(
+                                "corrupted shuffle partition (checksum mismatch)",
+                                task_id=task_id,
+                                attempt=attempt,
+                            )
+                        out = delivered  # pragma: no cover - corruption always detected
+                    if speculative_attempt:
+                        spec_win = True
+                        counters.increment("fault", "speculative_wins")
+                        attempt_span.attrs["speculative_win"] = True
+                    return out, task_counters, elapsed, attempt, failures, spec_win
+                except FaultError as exc:
+                    speculative_attempt = getattr(exc, "speculative", False)
+                    attempt_span.status = "error"
+                    attempt_span.attrs["error"] = str(exc)
+                    self._record_failure(
+                        counters, failures, str(exc), task_id, attempt, policy, exc
+                    )
+                except Exception as exc:
+                    if policy.max_attempts == 1:
+                        raise  # no retries configured: propagate user errors as-is
+                    speculative_attempt = False
+                    attempt_span.status = "error"
+                    attempt_span.attrs["error"] = f"{type(exc).__name__}: {exc}"
+                    self._record_failure(
+                        counters,
+                        failures,
+                        f"{type(exc).__name__}: {exc}",
+                        task_id,
+                        attempt,
+                        policy,
+                        exc,
+                    )
             delay = policy.backoff_delay(attempt)
             if delay > 0:
                 time.sleep(delay)

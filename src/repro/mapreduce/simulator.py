@@ -140,6 +140,73 @@ class SimReport:
     def total_minutes(self) -> float:
         return self.total_s / 60.0
 
+    def to_spans(self) -> list:
+        """Render the modeled timeline as telemetry spans.
+
+        Returns a ``pipeline:simulated`` root span with one ``kind="job"``
+        child per job and ``startup``/``map``/``shuffle``/``reduce`` stage
+        spans inside each, laid back-to-back exactly as the simulator
+        serialises jobs.  The spans feed the same exporters and
+        :func:`~repro.obs.report.build_report` as live traces, so a modeled
+        EMR run and a real local run can be compared with one tool.
+        """
+        from repro.obs.trace import Span
+
+        spans: list[Span] = []
+        next_id = 1
+        root = Span(
+            name="pipeline:simulated",
+            span_id=next_id,
+            parent_id=None,
+            start_s=0.0,
+            end_s=self.total_s,
+            kind="pipeline",
+            attrs={"num_nodes": self.cluster.num_nodes, "modeled": True},
+        )
+        next_id += 1
+        spans.append(root)
+        cursor = 0.0
+        for job in self.jobs:
+            job_span = Span(
+                name=f"job:{job.job_name}",
+                span_id=next_id,
+                parent_id=root.span_id,
+                start_s=cursor,
+                end_s=cursor + job.total_s,
+                kind="job",
+                attrs={
+                    "modeled": True,
+                    "map_waves": job.map_waves,
+                    "locality_fraction": job.locality_fraction,
+                    "speculative_attempts": job.speculative_attempts,
+                    "retried_tasks": job.retried_tasks,
+                },
+            )
+            next_id += 1
+            spans.append(job_span)
+            offset = cursor
+            for stage, seconds in (
+                ("startup", job.startup_s),
+                ("map", job.map_phase_s),
+                ("shuffle", job.shuffle_s),
+                ("reduce", job.reduce_phase_s),
+            ):
+                spans.append(
+                    Span(
+                        name=stage,
+                        span_id=next_id,
+                        parent_id=job_span.span_id,
+                        start_s=offset,
+                        end_s=offset + seconds,
+                        kind="stage",
+                        attrs={"modeled": True},
+                    )
+                )
+                next_id += 1
+                offset += seconds
+            cursor += job.total_s
+        return spans
+
 
 class _SlotPool:
     """Earliest-available-slot pool over (free_time, node) entries."""

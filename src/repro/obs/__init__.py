@@ -1,0 +1,58 @@
+"""``repro.obs`` — unified telemetry: span tracing, metrics, run reports.
+
+The engine's observability layer.  One activated :class:`Tracer` captures
+the whole story of a run — pipeline phases, Map-Reduce jobs, task
+attempts (including retries, speculation and injected faults), shuffle
+volume, wire compression — as a span tree plus a typed metrics registry,
+and the exporters turn that into a JSONL run log, a Perfetto-loadable
+Chrome trace, or a human-readable report::
+
+    from repro.obs import Tracer, build_report
+
+    tracer = Tracer()
+    with tracer.activate():
+        run = MrMCMinH(...).fit(records)
+    tracer.write_jsonl("run.jsonl")
+    print(build_report(tracer.spans, tracer.metrics.snapshot()).render())
+
+See DESIGN.md's "Observability" section for the span model and metric
+taxonomy, and ``repro obs report --help`` for the CLI.
+"""
+
+from repro.obs.export import (
+    chrome_trace_events,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    DEFAULT_BYTES_BUCKETS,
+    DEFAULT_SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.report import RunReport, build_report, report_from_jsonl
+from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer, current_tracer
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "current_tracer",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_SECONDS_BUCKETS",
+    "DEFAULT_BYTES_BUCKETS",
+    "write_jsonl",
+    "read_jsonl",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "RunReport",
+    "build_report",
+    "report_from_jsonl",
+]

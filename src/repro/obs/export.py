@@ -1,0 +1,185 @@
+"""Telemetry exporters: JSONL event log and Chrome trace-event JSON.
+
+**JSONL** is the durable run log: one JSON object per line — a ``meta``
+header, one ``span`` line per span, and a final ``metrics`` line holding
+the registry snapshot.  It round-trips losslessly through
+:func:`read_jsonl` and is what ``repro obs report`` consumes.
+
+**Chrome trace-event JSON** (the ``B``/``E`` duration-event flavour) loads
+directly into Perfetto / ``chrome://tracing``.  Span trees become nested
+begin/end pairs; concurrent spans that share a process (the multiprocess
+driver's overlapping task spans, speculative attempt races) are spread
+across synthetic thread tracks so that every track's event stream is
+strictly well-nested — the invariant the trace-event format requires and
+the test suite validates.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+
+from repro.obs.trace import Span, Tracer
+
+JSONL_SCHEMA = 1
+
+
+# --------------------------------------------------------------- JSONL
+
+
+def write_jsonl(tracer: Tracer, path) -> None:
+    """Write a tracer's spans and metrics as a JSONL run log."""
+    with open(path, "w", encoding="ascii") as fh:
+        header = {
+            "type": "meta",
+            "schema": JSONL_SCHEMA,
+            "epoch_wall": tracer.epoch_wall,
+            "pid": tracer.pid,
+            "num_spans": len(tracer.spans),
+        }
+        fh.write(json.dumps(header, sort_keys=True) + "\n")
+        for span in tracer.spans:
+            record = {"type": "span", **span.to_dict()}
+            fh.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+        metrics = {"type": "metrics", "snapshot": tracer.metrics.snapshot()}
+        fh.write(json.dumps(metrics, sort_keys=True) + "\n")
+
+
+def read_jsonl(path) -> tuple[list[Span], dict, dict]:
+    """Read a JSONL run log back: ``(spans, metrics_snapshot, meta)``."""
+    spans: list[Span] = []
+    metrics: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+    meta: dict = {}
+    with open(path, "r", encoding="ascii") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            rtype = record.get("type")
+            if rtype == "span":
+                spans.append(Span.from_dict(record))
+            elif rtype == "metrics":
+                metrics = record.get("snapshot", metrics)
+            elif rtype == "meta":
+                meta = record
+    return spans, metrics, meta
+
+
+# ------------------------------------------------- Chrome trace events
+
+
+def _span_end(span: Span) -> float:
+    """Effective end time (open spans render as zero-length)."""
+    return span.end_s if span.end_s is not None else span.start_s
+
+
+def _fits_track(span: Span, occupants: list[Span]) -> bool:
+    """A span may join a track iff it is disjoint from or strictly nests
+    with every span already on it (laminar family — what keeps the
+    track's ``B``/``E`` stream well-formed)."""
+    s0, s1 = span.start_s, _span_end(span)
+    for other in occupants:
+        o0, o1 = other.start_s, _span_end(other)
+        if s1 <= o0 or o1 <= s0:  # disjoint
+            continue
+        if (o0 <= s0 and s1 <= o1) or (s0 <= o0 and o1 <= s1):  # nested
+            continue
+        return False
+    return True
+
+
+def _assign_tracks(spans: Sequence[Span]) -> dict[int, int]:
+    """Map ``span_id -> tid`` such that each (pid, tid) stream nests.
+
+    Greedy interval scheduling: spans are placed longest-first onto the
+    lowest track they fit (preferring their parent's track), so the small
+    number of genuinely-concurrent spans fan out onto extra tracks while
+    serial runs collapse onto track 0.
+    """
+    tids: dict[int, int] = {}
+    by_pid: dict[int, list[Span]] = {}
+    for span in spans:
+        by_pid.setdefault(span.pid, []).append(span)
+    for members in by_pid.values():
+        tracks: list[list[Span]] = []
+        # Parents before children (ids are allocated in open order), then
+        # earliest-start first for deterministic placement.
+        for span in sorted(members, key=lambda s: (s.start_s, -(_span_end(s) - s.start_s), s.span_id)):
+            preferred = tids.get(span.parent_id) if span.parent_id is not None else None
+            order = list(range(len(tracks)))
+            if preferred is not None and preferred < len(tracks):
+                order.remove(preferred)
+                order.insert(0, preferred)
+            for tid in order:
+                if _fits_track(span, tracks[tid]):
+                    tracks[tid].append(span)
+                    tids[span.span_id] = tid
+                    break
+            else:
+                tracks.append([span])
+                tids[span.span_id] = len(tracks) - 1
+    return tids
+
+
+def chrome_trace_events(spans: Sequence[Span]) -> list[dict]:
+    """Convert spans into Chrome trace-event ``B``/``E`` pairs.
+
+    Timestamps are microseconds from the tracer epoch.  Events are emitted
+    per (pid, tid) track in nesting order — a depth-first walk of each
+    track's containment forest — so every ``B`` closes with a matching
+    ``E`` and timestamps never go backwards within a track.
+    """
+    tids = _assign_tracks(spans)
+    events: list[dict] = []
+
+    # Group spans per (pid, tid) and build each track's containment forest.
+    tracks: dict[tuple[int, int], list[Span]] = {}
+    for span in spans:
+        tracks.setdefault((span.pid, tids[span.span_id]), []).append(span)
+
+    for (pid, tid) in sorted(tracks):
+        members = sorted(
+            tracks[(pid, tid)],
+            key=lambda s: (s.start_s, -(_span_end(s) - s.start_s), s.span_id),
+        )
+        stack: list[Span] = []
+        for span in members:
+            while stack and not (
+                stack[-1].start_s <= span.start_s
+                and _span_end(span) <= _span_end(stack[-1])
+            ):
+                closed = stack.pop()
+                events.append(_event("E", closed, tid))
+            events.append(_event("B", span, tid))
+            stack.append(span)
+        while stack:
+            events.append(_event("E", stack.pop(), tid))
+    return events
+
+
+def _event(phase: str, span: Span, tid: int) -> dict:
+    ts = span.start_s if phase == "B" else _span_end(span)
+    event = {
+        "name": span.name,
+        "cat": span.kind,
+        "ph": phase,
+        "ts": round(ts * 1e6, 3),
+        "pid": span.pid,
+        "tid": tid,
+    }
+    if phase == "B":
+        args = {"status": span.status, **span.attrs}
+        event["args"] = {k: args[k] for k in sorted(args)}
+    return event
+
+
+def write_chrome_trace(spans: Sequence[Span], path) -> None:
+    """Write a Perfetto-loadable Chrome trace JSON file."""
+    document = {
+        "traceEvents": chrome_trace_events(spans),
+        "displayTimeUnit": "ms",
+    }
+    with open(path, "w", encoding="ascii") as fh:
+        json.dump(document, fh, default=str)
+        fh.write("\n")

@@ -1,0 +1,254 @@
+"""Typed metrics registry: counters, gauges, histograms.
+
+One registry holds every metric of a run under dotted names
+(``mr.wire.bytes_wire``, ``pipeline.phase_seconds.sketch``, ...), so the
+fragments the engine used to scatter — the Hadoop-style job ``Counters``,
+wire-codec byte accounting, pipeline timings, fault/retry counts — land in
+one deterministic store that the exporters and the perf-trajectory
+snapshot both read.
+
+Three instrument types, Prometheus-flavoured:
+
+* :class:`Counter` — monotonically increasing integer/float.
+* :class:`Gauge` — last-write-wins value.
+* :class:`Histogram` — fixed bucket boundaries chosen at creation;
+  observations land in the first bucket whose upper bound is ``>=`` the
+  value (plus an overflow bucket), with running sum and count.
+
+The existing job :class:`~repro.mapreduce.counters.Counters` plumbing
+adapts on via :meth:`MetricsRegistry.record_counters`, which maps every
+``group:name`` job counter onto a registry counter ``<prefix>.group.name``.
+
+Snapshots are byte-deterministic: :meth:`MetricsRegistry.snapshot` emits
+every metric in sorted name order, which is what makes the telemetry
+section of ``BENCH_<date>.json`` diffable across runs.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+# Durations in seconds: sub-millisecond kernels up to multi-minute jobs.
+DEFAULT_SECONDS_BUCKETS = (
+    0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 300.0,
+)
+# Payload sizes in bytes: single records up to multi-GB shuffles.
+DEFAULT_BYTES_BUCKETS = (
+    256, 1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576, 16_777_216, 268_435_456,
+)
+
+
+class Counter:
+    """Monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc {amount})")
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Histogram with fixed bucket boundaries.
+
+    ``counts[i]`` counts observations ``<= buckets[i]``; the final slot is
+    the overflow bucket.  Boundaries are fixed at creation so merged and
+    repeated runs always bucket identically.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "sum", "count")
+
+    def __init__(self, name: str, buckets: tuple[float, ...]):
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError(
+                f"histogram {self.__class__.__name__} {name!r} needs ascending "
+                f"bucket boundaries, got {buckets!r}"
+            )
+        self.name = name
+        self.buckets = tuple(float(b) for b in buckets)
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: int | float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+
+class MetricsRegistry:
+    """Create-on-first-use store of named metrics."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, factory, type_name: str):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif type(metric).__name__.lower() != type_name:
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__.lower()}, not {type_name}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, lambda: Counter(name), "counter")
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, lambda: Gauge(name), "gauge")
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] = DEFAULT_SECONDS_BUCKETS
+    ) -> Histogram:
+        metric = self._get(name, lambda: Histogram(name, buckets), "histogram")
+        if metric.buckets != tuple(float(b) for b in buckets):
+            raise ValueError(
+                f"histogram {name!r} already registered with boundaries "
+                f"{metric.buckets}, got {tuple(buckets)}"
+            )
+        return metric
+
+    # ---- adapters --------------------------------------------------------
+
+    def record_counters(self, counters, prefix: str = "mr") -> None:
+        """Fold a job's Hadoop-style counters into the registry.
+
+        Each ``group:name`` job counter increments the registry counter
+        ``<prefix>.<group>.<name>``.  Iteration over ``Counters`` is in
+        sorted key order, so registration order — and therefore snapshot
+        content — is deterministic.  Call once per finished job result;
+        amounts accumulate across jobs.
+        """
+        for group, name, value in counters:
+            self.counter(f"{prefix}.{group}.{name}").inc(value)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (in sorted name order)."""
+        for name in sorted(other._metrics):
+            metric = other._metrics[name]
+            if isinstance(metric, Counter):
+                self.counter(name).inc(metric.value)
+            elif isinstance(metric, Gauge):
+                self.gauge(name).set(metric.value)
+            else:
+                mine = self.histogram(name, metric.buckets)
+                for i, c in enumerate(metric.counts):
+                    mine.counts[i] += c
+                mine.sum += metric.sum
+                mine.count += metric.count
+
+    # ---- access ----------------------------------------------------------
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        """The metric registered under ``name``, or None."""
+        return self._metrics.get(name)
+
+    def value(self, name: str, default: int | float = 0) -> int | float:
+        """Scalar value of a counter/gauge (``default`` if unregistered)."""
+        metric = self._metrics.get(name)
+        if metric is None or isinstance(metric, Histogram):
+            return default
+        return metric.value
+
+    def snapshot(self) -> dict:
+        """Deterministic ``{counters, gauges, histograms}`` snapshot,
+        every section in sorted name order."""
+        counters: dict[str, int | float] = {}
+        gauges: dict[str, int | float] = {}
+        histograms: dict[str, dict] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                counters[name] = metric.value
+            elif isinstance(metric, Gauge):
+                gauges[name] = metric.value
+            else:
+                histograms[name] = {
+                    "buckets": list(metric.buckets),
+                    "counts": list(metric.counts),
+                    "sum": metric.sum,
+                    "count": metric.count,
+                }
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram."""
+
+    __slots__ = ()
+    name = ""
+    value = 0
+    sum = 0.0
+    count = 0
+    buckets = ()
+    counts = ()
+
+    def inc(self, amount=1) -> None:
+        pass
+
+    def set(self, value) -> None:
+        pass
+
+    def observe(self, value) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics:
+    """Disabled registry: all instruments are the shared no-op."""
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, buckets=DEFAULT_SECONDS_BUCKETS) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def record_counters(self, counters, prefix: str = "mr") -> None:
+        pass
+
+    def merge(self, other) -> None:
+        pass
+
+    def get(self, name: str) -> None:
+        return None
+
+    def value(self, name: str, default: int | float = 0) -> int | float:
+        return default
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def __len__(self) -> int:
+        return 0
+
+
+NULL_METRICS = NullMetrics()

@@ -1,0 +1,226 @@
+"""Run reports: turn a span tree + metrics snapshot into a run-level story.
+
+:func:`build_report` digests the telemetry of one run — wherever it came
+from (a live :class:`~repro.obs.trace.Tracer`, a JSONL log read back by
+:func:`~repro.obs.export.read_jsonl`, or modeled spans synthesised by
+``SimReport.to_spans``) — into a :class:`RunReport`: total wall-clock,
+per-phase durations, per-job shuffle volume, the critical path through
+the span tree, and fault/retry activity.  ``repro obs report <run.jsonl>``
+renders it for humans; tests assert on the structured fields.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.obs.trace import Span
+
+
+def _duration(span: Span) -> float:
+    return span.duration_s
+
+
+@dataclass
+class PhaseSummary:
+    """Aggregate of every phase span sharing one name."""
+
+    name: str
+    seconds: float
+    count: int
+
+
+@dataclass
+class JobSummary:
+    """Aggregate of one job span and its task/attempt children."""
+
+    name: str
+    seconds: float
+    tasks: int
+    attempts: int
+    failed_attempts: int
+    shuffle_bytes: int
+
+
+@dataclass
+class RunReport:
+    """Structured summary of one telemetry log."""
+
+    wall_seconds: float
+    phases: list[PhaseSummary] = field(default_factory=list)
+    jobs: list[JobSummary] = field(default_factory=list)
+    critical_path: list[tuple[str, float]] = field(default_factory=list)
+    num_spans: int = 0
+    attempts: int = 0
+    failed_attempts: int = 0
+    speculative_wins: int = 0
+    recovered_tasks: int = 0
+    shuffle_bytes: int = 0
+    shuffle_records: int = 0
+    retries: int = 0
+    metrics: dict = field(default_factory=dict)
+
+    @property
+    def phase_seconds(self) -> float:
+        """Sum of per-phase durations (compare against wall_seconds)."""
+        return sum(p.seconds for p in self.phases)
+
+    @property
+    def phase_coverage(self) -> float:
+        """Fraction of wall-clock explained by phase spans."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.phase_seconds / self.wall_seconds
+
+    def render(self) -> str:
+        """Human-readable multi-section report."""
+        lines: list[str] = []
+        lines.append("== run report ==")
+        lines.append(
+            f"wall-clock: {self.wall_seconds:.4f}s over {self.num_spans} spans"
+        )
+        if self.phases:
+            lines.append("")
+            lines.append("per-phase wall-clock:")
+            for phase in self.phases:
+                share = (
+                    phase.seconds / self.wall_seconds if self.wall_seconds > 0 else 0.0
+                )
+                lines.append(
+                    f"  {phase.name:<24} {phase.seconds:>10.4f}s  "
+                    f"{share:>6.1%}  x{phase.count}"
+                )
+            lines.append(
+                f"  {'(phase total)':<24} {self.phase_seconds:>10.4f}s  "
+                f"{self.phase_coverage:>6.1%}"
+            )
+        if self.jobs:
+            lines.append("")
+            lines.append("jobs:")
+            lines.append(
+                "  name                     seconds    tasks  attempts  "
+                "failed  shuffle_bytes"
+            )
+            for job in self.jobs:
+                lines.append(
+                    f"  {job.name:<22} {job.seconds:>9.4f}  {job.tasks:>7d}  "
+                    f"{job.attempts:>8d}  {job.failed_attempts:>6d}  "
+                    f"{job.shuffle_bytes:>13d}"
+                )
+        lines.append("")
+        lines.append(
+            "shuffle: "
+            f"{self.shuffle_bytes} bytes across {self.shuffle_records} records"
+        )
+        lines.append(
+            "faults: "
+            f"{self.failed_attempts} failed attempt(s), {self.retries} retrie(s), "
+            f"{self.speculative_wins} speculative win(s), "
+            f"{self.recovered_tasks} checkpoint-recovered task(s)"
+        )
+        if self.critical_path:
+            path = " -> ".join(
+                f"{name} ({seconds:.4f}s)" for name, seconds in self.critical_path
+            )
+            lines.append(f"critical path: {path}")
+        else:
+            lines.append("critical path: (no spans)")
+        return "\n".join(lines)
+
+
+def build_report(spans: Sequence[Span], metrics: dict | None = None) -> RunReport:
+    """Digest spans (and an optional metrics snapshot) into a report."""
+    metrics = metrics or {"counters": {}, "gauges": {}, "histograms": {}}
+    report = RunReport(wall_seconds=0.0, num_spans=len(spans), metrics=metrics)
+    if not spans:
+        return report
+
+    by_id = {s.span_id: s for s in spans}
+    children: dict[int | None, list[Span]] = {}
+    for span in spans:
+        parent = span.parent_id if span.parent_id in by_id else None
+        children.setdefault(parent, []).append(span)
+    roots = children.get(None, [])
+
+    start = min(s.start_s for s in spans)
+    end = max(s.end_s if s.end_s is not None else s.start_s for s in spans)
+    report.wall_seconds = end - start
+
+    # ---- phases -----------------------------------------------------------
+    phase_acc: dict[str, PhaseSummary] = {}
+    phase_kind = "phase" if any(s.kind == "phase" for s in spans) else "job"
+    for span in spans:
+        if span.kind != phase_kind:
+            continue
+        acc = phase_acc.get(span.name)
+        if acc is None:
+            phase_acc[span.name] = PhaseSummary(span.name, _duration(span), 1)
+        else:
+            acc.seconds += _duration(span)
+            acc.count += 1
+    report.phases = list(phase_acc.values())
+
+    # ---- jobs / tasks / attempts -----------------------------------------
+    counters = metrics.get("counters", {})
+    for span in spans:
+        if span.kind == "attempt":
+            report.attempts += 1
+            if span.status == "error":
+                report.failed_attempts += 1
+            if span.attrs.get("speculative_win"):
+                report.speculative_wins += 1
+        elif span.kind == "task" and span.attrs.get("recovered"):
+            report.recovered_tasks += 1
+
+    def _descendants(span: Span):
+        stack = [span]
+        while stack:
+            node = stack.pop()
+            for child in children.get(node.span_id, ()):
+                yield child
+                stack.append(child)
+
+    for span in spans:
+        if span.kind != "job":
+            continue
+        tasks = attempts = failed = 0
+        for sub in _descendants(span):
+            if sub.kind == "task":
+                tasks += 1
+            elif sub.kind == "attempt":
+                attempts += 1
+                if sub.status == "error":
+                    failed += 1
+        report.jobs.append(
+            JobSummary(
+                name=span.name,
+                seconds=_duration(span),
+                tasks=tasks,
+                attempts=attempts,
+                failed_attempts=failed,
+                shuffle_bytes=int(span.attrs.get("shuffle_bytes", 0)),
+            )
+        )
+        report.shuffle_bytes += int(span.attrs.get("shuffle_bytes", 0))
+    report.shuffle_records = int(counters.get("mr.job.shuffle_records", 0))
+    report.retries = int(counters.get("mr.fault.task_retries", 0))
+    if report.retries == 0 and report.failed_attempts:
+        # Metrics may be absent (e.g. pure span logs); fall back to spans.
+        report.retries = report.failed_attempts
+
+    # ---- critical path ----------------------------------------------------
+    if roots:
+        node = max(roots, key=lambda s: (_duration(s), -s.start_s))
+        while node is not None:
+            report.critical_path.append((node.name, _duration(node)))
+            kids = children.get(node.span_id, [])
+            node = max(kids, key=lambda s: (_duration(s), -s.start_s)) if kids else None
+    return report
+
+
+def report_from_jsonl(path) -> RunReport:
+    """Convenience: read a JSONL run log and build its report."""
+    from repro.obs.export import read_jsonl
+
+    spans, metrics, _meta = read_jsonl(path)
+    return build_report(spans, metrics)

@@ -84,6 +84,47 @@ class TestEndToEndChaos:
         first, second = chaos_tsv_and_retries(), chaos_tsv_and_retries()
         assert first == second
 
+    def test_crash_then_retry_traced_as_sibling_attempt_spans(
+        self, two_family_records
+    ):
+        from repro.mapreduce.faults import Fault
+        from repro.obs import Tracer, build_report
+
+        # Deterministic crash of the sketch job's first map attempt; the
+        # retry must succeed, and the telemetry must show the whole story.
+        plan = FaultPlan(schedule={("sketch", "map", 0, 1): Fault(kind="crash")})
+        runner = SerialRunner(fault_plan=plan, retry=RetryPolicy(max_attempts=2))
+        tracer = Tracer()
+        with tracer.activate():
+            run, _tsv = run_pipeline(two_family_records, runner=runner)
+
+        (task,) = [
+            s
+            for s in tracer.spans
+            if s.kind == "task" and s.name == "task:sketch-m0000"
+        ]
+        attempts = sorted(
+            (
+                s
+                for s in tracer.spans
+                if s.kind == "attempt" and s.parent_id == task.span_id
+            ),
+            key=lambda s: s.attrs["attempt"],
+        )
+        assert len(attempts) == 2, "failed attempt and retry must be siblings"
+        failed, retried = attempts
+        assert failed.status == "error"
+        assert failed.attrs["fault"] == "crash"
+        assert retried.status == "ok"
+        assert "fault" not in retried.attrs
+
+        assert tracer.metrics.value("mr.fault.task_retries") >= 1
+        assert run.counters.get("fault", "task_retries") >= 1
+        report = build_report(tracer.spans, tracer.metrics.snapshot())
+        assert report.failed_attempts >= 1
+        assert report.retries >= 1
+        assert "1 failed attempt(s)" in report.render().splitlines()[-2]
+
     def test_chaos_on_multiprocess_runner(self, two_family_records):
         from repro.mapreduce.local import MultiprocessRunner
 

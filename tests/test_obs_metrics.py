@@ -1,0 +1,142 @@
+"""Metrics registry tests: instrument semantics, the Counters adapter,
+and snapshot/aggregation determinism."""
+
+import json
+import random
+
+import pytest
+
+from repro.mapreduce.counters import Counters
+from repro.obs.metrics import (
+    DEFAULT_BYTES_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates_and_rejects_decrease(self):
+        reg = MetricsRegistry()
+        c = reg.counter("mr.records")
+        c.inc()
+        c.inc(4)
+        assert reg.value("mr.records") == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_is_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("ratio").set(0.5)
+        reg.gauge("ratio").set(0.125)
+        assert reg.value("ratio") == 0.125
+
+    def test_histogram_buckets_by_upper_bound(self):
+        h = Histogram("t", buckets=(0.01, 0.1, 1.0))
+        for v in (0.005, 0.01, 0.05, 0.5, 2.0):
+            h.observe(v)
+        # <=0.01, <=0.1, <=1.0, overflow
+        assert h.counts == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.sum == pytest.approx(2.565)
+
+    def test_histogram_requires_ascending_boundaries(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", buckets=(1.0, 0.5))
+        with pytest.raises(ValueError):
+            Histogram("empty", buckets=())
+
+    def test_histogram_reregistration_must_match_boundaries(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=DEFAULT_BYTES_BUCKETS)
+        reg.histogram("h", buckets=DEFAULT_BYTES_BUCKETS)  # same: fine
+        with pytest.raises(ValueError):
+            reg.histogram("h", buckets=(1.0, 2.0))
+
+    def test_name_collision_across_types_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+
+class TestCountersAdapter:
+    def test_record_counters_maps_group_name_to_dotted(self):
+        counters = Counters()
+        counters.increment("wire", "bytes_raw", 100)
+        counters.increment("wire", "bytes_wire", 10)
+        counters.increment("fault", "task_retries", 2)
+        reg = MetricsRegistry()
+        reg.record_counters(counters)
+        assert reg.value("mr.wire.bytes_raw") == 100
+        assert reg.value("mr.wire.bytes_wire") == 10
+        assert reg.value("mr.fault.task_retries") == 2
+
+    def test_record_counters_accumulates_across_jobs(self):
+        a, b = Counters(), Counters()
+        a.increment("job", "shuffle_records", 3)
+        b.increment("job", "shuffle_records", 4)
+        reg = MetricsRegistry()
+        reg.record_counters(a)
+        reg.record_counters(b)
+        assert reg.value("mr.job.shuffle_records") == 7
+
+
+class TestDeterminism:
+    def test_snapshot_is_sorted_and_json_stable(self):
+        reg = MetricsRegistry()
+        reg.counter("z.last").inc()
+        reg.gauge("a.first").set(1)
+        reg.counter("m.mid").inc(2)
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == sorted(snap["counters"])
+        assert list(snap["gauges"]) == sorted(snap["gauges"])
+
+    def test_registration_order_does_not_change_snapshot(self):
+        names = [f"c.{i}" for i in range(20)]
+        dumps = []
+        for seed in (0, 1):
+            rng = random.Random(seed)
+            shuffled = names[:]
+            rng.shuffle(shuffled)
+            reg = MetricsRegistry()
+            for name in shuffled:
+                reg.counter(name).inc(int(name.split(".")[1]))
+            dumps.append(json.dumps(reg.snapshot(), sort_keys=True))
+        assert dumps[0] == dumps[1]
+
+    def test_registry_merge_is_order_independent(self):
+        def part(values):
+            reg = MetricsRegistry()
+            for name, v in values:
+                reg.counter(name).inc(v)
+            return reg
+
+        a = part([("x", 1), ("y", 2)])
+        b = part([("y", 5), ("z", 3)])
+        ab, ba = MetricsRegistry(), MetricsRegistry()
+        ab.merge(a)
+        ab.merge(b)
+        ba.merge(b)
+        ba.merge(a)
+        assert ab.snapshot() == ba.snapshot()
+
+    def test_job_counters_merge_deterministic_and_dump_byte_identical(self):
+        # Satellite: worker counters arriving in different completion
+        # orders must aggregate to byte-identical dumps.
+        def worker_counters(order):
+            parts = []
+            for tag in order:
+                c = Counters()
+                c.increment("map", f"records_{tag}", ord(tag))
+                c.increment("wire", "bytes_wire", 10 * ord(tag))
+                parts.append(c)
+            total = Counters()
+            for c in parts:
+                total.merge(c)
+            return total
+
+        first = worker_counters(["a", "b", "c", "d"])
+        second = worker_counters(["d", "c", "b", "a"])
+        assert first.dump_json() == second.dump_json()
+        assert list(first) == list(second)
+        assert json.dumps(first.as_dict()) == json.dumps(second.as_dict())

@@ -1,0 +1,173 @@
+"""Tracer unit tests: span nesting, activation, cross-process merge."""
+
+import os
+
+import pytest
+
+from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer, current_tracer
+
+
+class TestSpanNesting:
+    def test_with_blocks_parent_through_call_depth(self):
+        tracer = Tracer()
+
+        def inner():
+            with tracer.span("inner") as span:
+                return span
+
+        with tracer.span("outer") as outer:
+            inner_span = inner()
+
+        assert inner_span.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert outer.end_s is not None and inner_span.end_s is not None
+        assert outer.start_s <= inner_span.start_s
+        assert inner_span.end_s <= outer.end_s
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id == parent.span_id
+        assert b.parent_id == parent.span_id
+        assert a.span_id != b.span_id
+
+    def test_exception_marks_error_and_reraises(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom") as span:
+                raise ValueError("kaput")
+        assert span.status == "error"
+        assert "kaput" in span.attrs["error"]
+        assert span.end_s is not None
+
+    def test_span_attrs_and_kind_recorded(self):
+        tracer = Tracer()
+        with tracer.span("job:x", kind="job", workers=4) as span:
+            span.attrs["shuffle_bytes"] = 123
+        assert span.kind == "job"
+        assert span.attrs == {"workers": 4, "shuffle_bytes": 123}
+        assert span.pid == os.getpid()
+
+    def test_manual_start_finish_does_not_touch_context(self):
+        tracer = Tracer()
+        with tracer.span("ctx") as ctx:
+            manual = tracer.start("manual", parent=ctx)
+            assert tracer.current_span() is ctx
+            with tracer.span("child") as child:
+                pass
+            tracer.finish(manual, status="error")
+        assert manual.parent_id == ctx.span_id
+        assert child.parent_id == ctx.span_id  # not under the manual span
+        assert manual.status == "error"
+
+
+class TestActivation:
+    def test_current_tracer_defaults_to_null(self):
+        assert current_tracer() is NULL_TRACER
+
+    def test_activate_scopes_the_tracer(self):
+        tracer = Tracer()
+        with tracer.activate():
+            assert current_tracer() is tracer
+            with current_tracer().span("x"):
+                pass
+        assert current_tracer() is NULL_TRACER
+        assert [s.name for s in tracer.spans] == ["x"]
+
+    def test_nested_activation_restores_outer(self):
+        outer, inner = Tracer(), Tracer()
+        with outer.activate():
+            with inner.activate():
+                assert current_tracer() is inner
+            assert current_tracer() is outer
+
+
+class TestNullTracer:
+    def test_null_tracer_records_nothing(self):
+        null = NullTracer()
+        with null.span("anything", kind="job", attr=1) as span:
+            span.status = "error"
+            span.attrs["k"] = "v"
+            assert span.status == "ok"
+            assert "k" not in span.attrs
+        assert null.spans == []
+        assert null.current_span() is None
+        assert null.merge_payload({"epoch_wall": 0, "pid": 0, "spans": []}) == []
+
+    def test_null_metrics_swallow_everything(self):
+        null = NullTracer()
+        null.metrics.counter("c").inc(5)
+        null.metrics.gauge("g").set(1.5)
+        null.metrics.histogram("h").observe(0.1)
+        assert null.metrics.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+
+class TestMergePayload:
+    def test_merge_rebases_remaps_and_reparents(self):
+        driver = Tracer()
+        worker = Tracer()
+        # Simulate a worker whose wall-clock epoch is 10s after the driver's.
+        worker.epoch_wall = driver.epoch_wall + 10.0
+        with worker.span("attempt:1", kind="attempt") as root:
+            with worker.span("work"):
+                pass
+        payload = worker.export_payload()
+
+        task = driver.start("task:t0", kind="task")
+        merged = driver.merge_payload(payload, parent=task)
+        driver.finish(task)
+
+        assert len(merged) == 2
+        by_name = {s.name: s for s in merged}
+        m_root, m_child = by_name["attempt:1"], by_name["work"]
+        # Reparented under the driver-side task span.
+        assert m_root.parent_id == task.span_id
+        # Internal parent link remapped consistently.
+        assert m_child.parent_id == m_root.span_id
+        # Ids moved into the driver's id space (no collisions).
+        ids = [s.span_id for s in driver.spans]
+        assert len(ids) == len(set(ids))
+        # Times rebased by the epoch difference.
+        assert m_root.start_s == pytest.approx(root.start_s + 10.0)
+        # Worker pid preserved for per-process trace tracks.
+        assert m_root.pid == worker.pid
+
+    def test_payload_round_trips_attrs_and_status(self):
+        worker = Tracer()
+        with pytest.raises(RuntimeError):
+            with worker.span("attempt:1", kind="attempt", fault="crash"):
+                raise RuntimeError("injected")
+        driver = Tracer()
+        (merged,) = driver.merge_payload(worker.export_payload())
+        assert merged.status == "error"
+        assert merged.attrs["fault"] == "crash"
+        assert merged.parent_id is None
+
+
+class TestSpanSerialization:
+    def test_to_from_dict_round_trip(self):
+        span = Span(
+            name="n",
+            span_id=7,
+            parent_id=3,
+            start_s=1.5,
+            end_s=2.5,
+            kind="task",
+            status="error",
+            pid=42,
+            attrs={"a": 1},
+        )
+        assert Span.from_dict(span.to_dict()) == span
+        assert span.duration_s == pytest.approx(1.0)
+
+    def test_open_span_has_zero_duration(self):
+        span = Span(name="n", span_id=1, parent_id=None, start_s=1.0)
+        assert span.duration_s == 0.0
