@@ -15,12 +15,25 @@ execution substrate in pure Python:
   the discrete-event cluster model used to regenerate Figure 2.
 """
 
-from repro.errors import FaultError, JobKilledError, TaskFailedError
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    FaultError,
+    JobCancelledError,
+    JobKilledError,
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceStoppedError,
+    TaskFailedError,
+)
 from repro.mapreduce.types import JobConf, JobTrace, TaskTrace, stable_hash
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.job import MapReduceJob, identity_mapper, identity_reducer
 from repro.mapreduce.shuffle import default_partitioner, shuffle
+from repro.mapreduce.cancel import CancelScope, check_cancelled, current_scope
 from repro.mapreduce.faults import (
+    BlockBitRot,
+    DatanodeDegrade,
     DatanodeKill,
     Fault,
     FaultPlan,
@@ -40,6 +53,16 @@ from repro.mapreduce.scheduler import (
     simulate_schedule,
     mean_latency,
 )
+from repro.mapreduce.service import (
+    CircuitBreaker,
+    ClusterJobSpec,
+    JobService,
+    JobTicket,
+    MapReduceSpec,
+    failing_spec,
+    fluid_prediction,
+    sleep_spec,
+)
 
 __all__ = [
     "JobConf",
@@ -51,10 +74,29 @@ __all__ = [
     "FaultPlan",
     "FaultError",
     "DatanodeKill",
+    "DatanodeDegrade",
+    "BlockBitRot",
     "RetryPolicy",
     "JobCheckpoint",
     "TaskFailedError",
     "JobKilledError",
+    "CancelScope",
+    "check_cancelled",
+    "current_scope",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "ServiceStoppedError",
+    "CircuitOpenError",
+    "DeadlineExceededError",
+    "JobCancelledError",
+    "JobService",
+    "JobTicket",
+    "CircuitBreaker",
+    "MapReduceSpec",
+    "ClusterJobSpec",
+    "sleep_spec",
+    "failing_spec",
+    "fluid_prediction",
     "MapReduceJob",
     "identity_mapper",
     "identity_reducer",

@@ -1,0 +1,90 @@
+"""Cooperative cancellation scopes for job execution.
+
+A :class:`CancelScope` carries a deadline and/or an explicit cancel flag
+for one unit of work (typically one job submitted to the
+:class:`~repro.mapreduce.service.JobService`).  The scope is installed in
+a :mod:`contextvars` context variable while the job runs, and the runners
+call :func:`check_cancelled` at every task boundary — the same
+granularity at which Hadoop's JobTracker kills the tasks of a killed job.
+Cancellation is therefore *cooperative*: a deadline that passes mid-task
+takes effect at the next task boundary, never by interrupting user code.
+
+The disabled path (no scope installed) is a single context-variable read,
+so uncancellable callers — everything that existed before the service
+layer — pay effectively nothing.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import time
+from collections.abc import Iterator
+from contextlib import contextmanager
+
+from repro.errors import DeadlineExceededError, JobCancelledError
+
+_CURRENT_SCOPE: contextvars.ContextVar["CancelScope | None"] = contextvars.ContextVar(
+    "repro_cancel_scope", default=None
+)
+
+
+class CancelScope:
+    """Deadline + explicit-cancel state for one unit of work.
+
+    ``deadline_s`` is an absolute time on ``clock`` (defaults to
+    :func:`time.monotonic`); ``None`` means no deadline.  :meth:`cancel`
+    flips the explicit flag (e.g. on service shutdown).  :meth:`check`
+    raises the matching typed error when either condition holds.
+    """
+
+    __slots__ = ("deadline_s", "_clock", "_cancelled", "_reason")
+
+    def __init__(self, *, deadline_s: float | None = None, clock=time.monotonic):
+        self.deadline_s = deadline_s
+        self._clock = clock
+        self._cancelled = False
+        self._reason = ""
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Flag the scope; takes effect at the next :meth:`check`."""
+        self._cancelled = True
+        self._reason = reason
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def remaining(self) -> float | None:
+        """Seconds until the deadline (negative if past), or None."""
+        if self.deadline_s is None:
+            return None
+        return self.deadline_s - self._clock()
+
+    def check(self, where: str = "") -> None:
+        """Raise if the scope is cancelled or its deadline has passed."""
+        suffix = f" at {where}" if where else ""
+        if self._cancelled:
+            raise JobCancelledError(f"job cancelled{suffix}: {self._reason}")
+        if self.deadline_s is not None and self._clock() >= self.deadline_s:
+            raise DeadlineExceededError(f"job deadline exceeded{suffix}")
+
+    @contextmanager
+    def activate(self) -> Iterator["CancelScope"]:
+        """Install this scope for :func:`check_cancelled` callers."""
+        token = _CURRENT_SCOPE.set(self)
+        try:
+            yield self
+        finally:
+            _CURRENT_SCOPE.reset(token)
+
+
+def current_scope() -> CancelScope | None:
+    """The active scope, or None when nothing is cancellable."""
+    return _CURRENT_SCOPE.get()
+
+
+def check_cancelled(where: str = "") -> None:
+    """Cancellation point: no-op unless a scope is active and tripped."""
+    scope = _CURRENT_SCOPE.get()
+    if scope is not None:
+        scope.check(where)

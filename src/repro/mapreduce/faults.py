@@ -34,16 +34,22 @@ from dataclasses import dataclass
 
 from repro.errors import FaultError, JobKilledError, MapReduceError
 
-FAULT_KINDS = ("crash", "hang", "corrupt")
+FAULT_KINDS = ("crash", "hang", "corrupt", "slow_node")
 BARRIERS = ("job_start", "map_end", "job_end")
 
 
 @dataclass(frozen=True)
 class Fault:
-    """One injected fault: what happens to a single task attempt."""
+    """One injected fault: what happens to a single task attempt.
 
-    kind: str  # "crash" | "hang" | "corrupt"
-    delay: float = 0.0  # hang duration in seconds (kind == "hang")
+    ``slow_node`` models a degraded machine rather than a failure: the
+    attempt is delayed by ``delay`` seconds but always completes and is
+    never abandoned or speculated against — pure added latency, the kind
+    of fault deadlines and admission control exist to absorb.
+    """
+
+    kind: str  # "crash" | "hang" | "corrupt" | "slow_node"
+    delay: float = 0.0  # added seconds (kind == "hang" or "slow_node")
     reason: str = ""
 
     def __post_init__(self) -> None:
@@ -70,6 +76,46 @@ class DatanodeKill:
 
 
 @dataclass(frozen=True)
+class DatanodeDegrade:
+    """Degrade one HDFS datanode at ``barrier``: it stays alive but reads
+    prefer healthy replicas (the slow-disk / overloaded-node case)."""
+
+    barrier: str
+    node_id: int
+
+    def __post_init__(self) -> None:
+        if self.barrier not in BARRIERS:
+            raise MapReduceError(
+                f"unknown barrier {self.barrier!r}; expected one of {BARRIERS}"
+            )
+
+
+@dataclass(frozen=True)
+class BlockBitRot:
+    """Silently corrupt one stored replica at ``barrier``.
+
+    ``block_index`` selects the ``index``-th block id (sorted) held by
+    ``node_id``; the replica's bytes are flipped in place, so only the
+    per-block CRC32 check in :class:`~repro.mapreduce.hdfs.SimulatedHDFS`
+    can tell — the bit-rot analogue of HDFS's block scanner workload.
+    """
+
+    barrier: str
+    node_id: int
+    block_index: int = 0
+
+    def __post_init__(self) -> None:
+        if self.barrier not in BARRIERS:
+            raise MapReduceError(
+                f"unknown barrier {self.barrier!r}; expected one of {BARRIERS}"
+            )
+        if self.block_index < 0:
+            raise MapReduceError(
+                f"block_index must be >= 0, got {self.block_index}"
+            )
+
+
+@dataclass(frozen=True)
 class RetryPolicy:
     """Recovery knobs for one job (normally read off ``JobConf``).
 
@@ -78,6 +124,14 @@ class RetryPolicy:
     ``margin x median(completed task durations)``.  ``0`` disables
     speculation.  Backoff between attempts is exponential:
     ``backoff * 2**(attempt-1)`` seconds, capped at ``backoff_cap``.
+
+    ``jitter`` in ``(0, 1]`` spreads that delay over
+    ``[(1-jitter)*d, d)`` using a seeded uniform draw (full jitter at
+    ``jitter=1``), so a fleet of jobs failing together does not retry in
+    lockstep and re-create the overload that failed them.  The draw is a
+    pure function of ``(seed, attempt)`` — same seed, same delays — and
+    the default ``jitter=0.0`` keeps the historical deterministic
+    schedule byte-identical.
     """
 
     max_attempts: int = 1
@@ -85,6 +139,8 @@ class RetryPolicy:
     speculative_margin: float = 0.0
     backoff: float = 0.0
     backoff_cap: float = 1.0
+    jitter: float = 0.0
+    seed: int = 0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -99,6 +155,8 @@ class RetryPolicy:
             )
         if self.backoff < 0:
             raise MapReduceError(f"backoff must be >= 0, got {self.backoff}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise MapReduceError(f"jitter must be in [0,1], got {self.jitter}")
 
     @classmethod
     def from_conf(cls, conf) -> "RetryPolicy":
@@ -114,7 +172,12 @@ class RetryPolicy:
         """Sleep before retry number ``attempt`` (1-based failed attempt)."""
         if self.backoff <= 0:
             return 0.0
-        return min(self.backoff_cap, self.backoff * (2.0 ** (attempt - 1)))
+        delay = min(self.backoff_cap, self.backoff * (2.0 ** (attempt - 1)))
+        if self.jitter <= 0:
+            return delay
+        token = f"{self.seed}|backoff-jitter|{attempt}".encode()
+        draw = int.from_bytes(hashlib.sha256(token).digest()[:8], "big") / 2**64
+        return delay * (1.0 - self.jitter) + delay * self.jitter * draw
 
 
 def records_checksum(records: Sequence[tuple]) -> int:
@@ -161,6 +224,10 @@ class FaultPlan:
     corrupt_rate:
         Probability that an attempt's output partition is corrupted in
         transit (detected by checksum, triggering a retry).
+    slow_node_rate:
+        Probability that an attempt lands on a degraded node and is
+        delayed by ``slow_node_delay`` seconds.  Unlike a hang, a slow
+        attempt always completes — it eats latency budget, not attempts.
     max_faulted_attempts:
         When set, rate-based faults are only injected on attempts
         ``<= max_faulted_attempts`` — guarantees convergence within a known
@@ -168,6 +235,13 @@ class FaultPlan:
     datanode_kills:
         :class:`DatanodeKill` events fired at job barriers once
         :meth:`bind_hdfs` has attached a cluster.
+    datanode_degrades:
+        :class:`DatanodeDegrade` events: the node survives but reads
+        route around it (health-aware replica selection).
+    block_bitrot:
+        :class:`BlockBitRot` events: a stored replica's bytes are
+        silently flipped; only the HDFS per-block CRC32 check catches it
+        (failover + quarantine, visible in ``fsck()``).
     auto_rereplicate:
         Run the namenode's block recovery right after each kill, as a
         healthy cluster would (the job then completes via re-replication).
@@ -185,10 +259,14 @@ class FaultPlan:
         reducer_crash_rate: float = 0.0,
         hang_rate: float = 0.0,
         corrupt_rate: float = 0.0,
+        slow_node_rate: float = 0.0,
         hang_delay: float = 0.05,
+        slow_node_delay: float = 0.02,
         max_faulted_attempts: int | None = None,
         schedule: Mapping[tuple, Fault] | None = None,
         datanode_kills: Sequence[DatanodeKill] = (),
+        datanode_degrades: Sequence[DatanodeDegrade] = (),
+        block_bitrot: Sequence[BlockBitRot] = (),
         auto_rereplicate: bool = True,
         kill_job_after_tasks: int | None = None,
     ):
@@ -197,11 +275,16 @@ class FaultPlan:
             ("reducer_crash_rate", reducer_crash_rate),
             ("hang_rate", hang_rate),
             ("corrupt_rate", corrupt_rate),
+            ("slow_node_rate", slow_node_rate),
         ):
             if not 0.0 <= rate <= 1.0:
                 raise MapReduceError(f"{name} must be in [0,1], got {rate}")
         if hang_delay < 0:
             raise MapReduceError(f"hang_delay must be >= 0, got {hang_delay}")
+        if slow_node_delay < 0:
+            raise MapReduceError(
+                f"slow_node_delay must be >= 0, got {slow_node_delay}"
+            )
         if max_faulted_attempts is not None and max_faulted_attempts < 0:
             raise MapReduceError(
                 f"max_faulted_attempts must be >= 0, got {max_faulted_attempts}"
@@ -215,7 +298,9 @@ class FaultPlan:
         self.reducer_crash_rate = reducer_crash_rate
         self.hang_rate = hang_rate
         self.corrupt_rate = corrupt_rate
+        self.slow_node_rate = slow_node_rate
         self.hang_delay = hang_delay
+        self.slow_node_delay = slow_node_delay
         self.max_faulted_attempts = max_faulted_attempts
         self.schedule = dict(schedule or {})
         for key, fault in self.schedule.items():
@@ -224,11 +309,15 @@ class FaultPlan:
                     f"schedule entry {key!r} maps to {fault!r}; expected a Fault"
                 )
         self.datanode_kills = tuple(datanode_kills)
+        self.datanode_degrades = tuple(datanode_degrades)
+        self.block_bitrot = tuple(block_bitrot)
         self.auto_rereplicate = auto_rereplicate
         self.kill_job_after_tasks = kill_job_after_tasks
         # Driver-side mutable state; never shipped to workers (__getstate__).
         self._hdfs = None
         self._fired_kills: set[int] = set()
+        self._fired_degrades: set[int] = set()
+        self._fired_bitrot: set[int] = set()
         self._completed_tasks = 0
 
     # ---- determinism core -------------------------------------------------
@@ -261,6 +350,12 @@ class FaultPlan:
             return Fault(kind="hang", delay=self.hang_delay, reason="injected hang")
         if self._draw("corrupt", job, kind, index, attempt) < self.corrupt_rate:
             return Fault(kind="corrupt", reason="injected corruption")
+        if self._draw("slow", job, kind, index, attempt) < self.slow_node_rate:
+            return Fault(
+                kind="slow_node",
+                delay=self.slow_node_delay,
+                reason="attempt scheduled on a degraded node",
+            )
         return None
 
     # ---- injection helpers ------------------------------------------------
@@ -290,7 +385,8 @@ class FaultPlan:
         return self
 
     def trigger_barrier(self, barrier: str, counters=None) -> int:
-        """Fire pending datanode kills for ``barrier``; returns kills fired."""
+        """Fire pending barrier events (kills, degrades, bit-rot) for
+        ``barrier``; returns the number of events fired."""
         if barrier not in BARRIERS:
             raise MapReduceError(
                 f"unknown barrier {barrier!r}; expected one of {BARRIERS}"
@@ -310,6 +406,27 @@ class FaultPlan:
                 created = self._hdfs.rereplicate()
                 if counters is not None:
                     counters.increment("fault", "replicas_recreated", created)
+        for i, degrade in enumerate(self.datanode_degrades):
+            if degrade.barrier != barrier or i in self._fired_degrades:
+                continue
+            self._fired_degrades.add(i)
+            if self._hdfs is None:
+                continue
+            self._hdfs.degrade_datanode(degrade.node_id)
+            fired += 1
+            if counters is not None:
+                counters.increment("fault", "datanodes_degraded")
+        for i, rot in enumerate(self.block_bitrot):
+            if rot.barrier != barrier or i in self._fired_bitrot:
+                continue
+            self._fired_bitrot.add(i)
+            if self._hdfs is None:
+                continue
+            block_id = self._hdfs.corrupt_replica(rot.node_id, rot.block_index)
+            if block_id is not None:
+                fired += 1
+                if counters is not None:
+                    counters.increment("fault", "blocks_bitrotted")
         return fired
 
     def note_task_complete(self) -> None:
@@ -327,6 +444,8 @@ class FaultPlan:
     def reset(self) -> "FaultPlan":
         """Clear driver-side progress state (for replaying the same plan)."""
         self._fired_kills = set()
+        self._fired_degrades = set()
+        self._fired_bitrot = set()
         self._completed_tasks = 0
         return self
 
@@ -336,6 +455,8 @@ class FaultPlan:
         state = self.__dict__.copy()
         state["_hdfs"] = None
         state["_fired_kills"] = set()
+        state["_fired_degrades"] = set()
+        state["_fired_bitrot"] = set()
         state["_completed_tasks"] = 0
         return state
 
@@ -343,7 +464,8 @@ class FaultPlan:
         return (
             f"FaultPlan(seed={self.seed}, crash=({self.mapper_crash_rate},"
             f" {self.reducer_crash_rate}), hang={self.hang_rate},"
-            f" corrupt={self.corrupt_rate}, kills={len(self.datanode_kills)},"
+            f" corrupt={self.corrupt_rate}, slow={self.slow_node_rate},"
+            f" kills={len(self.datanode_kills)},"
             f" scheduled={len(self.schedule)})"
         )
 

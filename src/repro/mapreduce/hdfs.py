@@ -11,7 +11,16 @@ simulator care about:
   (default 3), chosen pseudo-randomly but deterministically per seed;
 * the **namenode** keeps file -> block metadata, which the simulator uses
   for data locality (a map task is "node-local" when some replica of its
-  block lives on the node running it).
+  block lives on the node running it);
+* every block carries a **CRC32 checksum** computed on ``put``; reads
+  verify it per replica and silently fail over to another live replica on
+  mismatch, quarantining the corrupt copy (the in-memory analogue of
+  HDFS's block scanner + corrupt-replica handling), with :meth:`fsck`
+  reporting namespace health.
+
+Datanodes can also be **degraded** (alive but slow): reads prefer healthy
+replicas and only fall back to degraded ones, which is what lets barrier
+fault plans model brown-outs without data loss.
 
 Data is held in memory; this is a functional model, not a persistence
 layer.
@@ -19,6 +28,7 @@ layer.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 
 from repro.errors import HdfsError
@@ -54,10 +64,15 @@ class _Datanode:
     node_id: int
     blocks: dict[str, bytes] = field(default_factory=dict)
     alive: bool = True
+    degraded: bool = False
 
     @property
     def used_bytes(self) -> int:
         return sum(len(b) for b in self.blocks.values())
+
+    @property
+    def healthy(self) -> bool:
+        return self.alive and not self.degraded
 
 
 class SimulatedHDFS:
@@ -81,8 +96,14 @@ class SimulatedHDFS:
         self.replication = min(replication, num_datanodes)
         self._datanodes = [_Datanode(i) for i in range(num_datanodes)]
         self._namenode: dict[str, FileMeta] = {}
+        self._block_crc: dict[str, int] = {}
         self._rng = ensure_rng(seed)
         self._next_block = 0
+        self._stats = {
+            "degraded_reads": 0,
+            "crc_failovers": 0,
+            "replicas_quarantined": 0,
+        }
 
     # ---- namespace operations -------------------------------------------
 
@@ -105,6 +126,7 @@ class SimulatedHDFS:
         for block in meta.blocks:
             for node in block.replicas:
                 self._datanodes[node].blocks.pop(block.block_id, None)
+            self._block_crc.pop(block.block_id, None)
         del self._namenode[path]
 
     # ---- data operations ---------------------------------------------------
@@ -124,6 +146,7 @@ class SimulatedHDFS:
             chunk = payload[off : off + self.block_size]
             block_id = f"blk_{self._next_block:08d}"
             self._next_block += 1
+            self._block_crc[block_id] = zlib.crc32(chunk)
             replicas = self._place_replicas()
             for node in replicas:
                 self._datanodes[node].blocks[block_id] = chunk
@@ -170,6 +193,61 @@ class SimulatedHDFS:
         """Bytes stored per datanode (replication included)."""
         return [n.used_bytes for n in self._datanodes]
 
+    def integrity_stats(self) -> dict[str, int]:
+        """Counters for degraded reads, CRC failovers and quarantines."""
+        return dict(self._stats)
+
+    def fsck(self) -> dict:
+        """Namespace health report (the ``hdfs fsck /`` analogue).
+
+        Verifies every replica's CRC32 (quarantining corrupt copies as a
+        real scan would), then reports per-file block health plus
+        cluster-wide totals.  ``healthy`` is True when every block has at
+        least ``replication`` valid replicas on live nodes.
+        """
+        files: dict[str, dict] = {}
+        under_replicated = 0
+        missing = 0
+        total_blocks = 0
+        for path in sorted(self._namenode):
+            meta = self._namenode[path]
+            file_under: list[str] = []
+            file_missing: list[str] = []
+            for block in meta.blocks:
+                total_blocks += 1
+                valid = [
+                    n
+                    for n in block.replicas
+                    if self._datanodes[n].alive
+                    and self._valid_replica(n, block.block_id)
+                ]
+                want = min(self.replication, len(self.live_datanodes))
+                if not valid:
+                    file_missing.append(block.block_id)
+                elif len(valid) < want:
+                    file_under.append(block.block_id)
+            under_replicated += len(file_under)
+            missing += len(file_missing)
+            files[path] = {
+                "blocks": meta.num_blocks,
+                "under_replicated": file_under,
+                "missing": file_missing,
+            }
+        return {
+            "files": files,
+            "total_blocks": total_blocks,
+            "under_replicated_blocks": under_replicated,
+            "missing_blocks": missing,
+            "live_datanodes": self.live_datanodes,
+            "degraded_datanodes": [
+                n.node_id for n in self._datanodes if n.alive and n.degraded
+            ],
+            "replicas_quarantined": self._stats["replicas_quarantined"],
+            "crc_failovers": self._stats["crc_failovers"],
+            "degraded_reads": self._stats["degraded_reads"],
+            "healthy": under_replicated == 0 and missing == 0,
+        }
+
     @property
     def num_datanodes(self) -> int:
         return len(self._datanodes)
@@ -191,6 +269,35 @@ class SimulatedHDFS:
         self._check_node(node_id)
         self._datanodes[node_id].alive = True
 
+    def degrade_datanode(self, node_id: int) -> None:
+        """Mark a datanode degraded: alive, but reads route around it."""
+        self._check_node(node_id)
+        self._datanodes[node_id].degraded = True
+
+    def restore_datanode(self, node_id: int) -> None:
+        """Clear a datanode's degraded flag."""
+        self._check_node(node_id)
+        self._datanodes[node_id].degraded = False
+
+    def corrupt_replica(self, node_id: int, block_index: int = 0) -> str | None:
+        """Silently flip the bytes of one stored replica (bit rot).
+
+        ``block_index`` picks the ``index``-th block id (sorted) stored on
+        ``node_id``.  Returns the corrupted block id, or None when the
+        node holds no block at that index (nothing to rot).  The namenode
+        checksum is *not* updated — that is the point: only the CRC check
+        on read can tell this replica has gone bad.
+        """
+        self._check_node(node_id)
+        held = sorted(self._datanodes[node_id].blocks)
+        if block_index >= len(held):
+            return None
+        block_id = held[block_index]
+        data = self._datanodes[node_id].blocks[block_id]
+        flipped = bytes([data[0] ^ 0xFF]) + data[1:] if data else b"\xff"
+        self._datanodes[node_id].blocks[block_id] = flipped
+        return block_id
+
     def rereplicate(self) -> int:
         """Re-replicate under-replicated blocks onto live nodes.
 
@@ -203,8 +310,13 @@ class SimulatedHDFS:
         for path, meta in self._namenode.items():
             blocks: list[BlockInfo] = []
             for block in meta.blocks:
+                # A replica only counts if the node is alive AND still
+                # holds verifiable data — quarantined copies don't.
                 holders = [
-                    n for n in block.replicas if self._datanodes[n].alive
+                    n
+                    for n in block.replicas
+                    if self._datanodes[n].alive
+                    and self._valid_replica(n, block.block_id)
                 ]
                 if not holders:
                     raise HdfsError(
@@ -261,14 +373,46 @@ class SimulatedHDFS:
         picks = self._rng.permutation(len(live))[:count]
         return tuple(sorted(live[int(i)] for i in picks))
 
+    def _valid_replica(self, node_id: int, block_id: str) -> bool:
+        """Node holds the block and its bytes still match the namenode CRC.
+
+        A mismatching replica is quarantined on the spot (dropped from
+        the node's store) so nothing ever reads or re-replicates it.
+        """
+        data = self._datanodes[node_id].blocks.get(block_id)
+        if data is None:
+            return False
+        if zlib.crc32(data) != self._block_crc[block_id]:
+            del self._datanodes[node_id].blocks[block_id]
+            self._stats["replicas_quarantined"] += 1
+            return False
+        return True
+
     def _read_block(self, block: BlockInfo) -> bytes:
-        for node in block.replicas:
-            datanode = self._datanodes[node]
-            if not datanode.alive:
-                continue
-            data = datanode.blocks.get(block.block_id)
-            if data is not None:
-                return data
+        # Healthy replicas first, then degraded ones — never dead nodes.
+        candidates = [n for n in block.replicas if self._datanodes[n].healthy]
+        degraded = [
+            n
+            for n in block.replicas
+            if self._datanodes[n].alive and self._datanodes[n].degraded
+        ]
+        saw_corruption = False
+        for tier, nodes in enumerate((candidates, degraded)):
+            for node in nodes:
+                before = self._stats["replicas_quarantined"]
+                if not self._valid_replica(node, block.block_id):
+                    if self._stats["replicas_quarantined"] > before:
+                        saw_corruption = True
+                    continue
+                if saw_corruption:
+                    self._stats["crc_failovers"] += 1
+                if tier == 1:
+                    self._stats["degraded_reads"] += 1
+                return self._datanodes[node].blocks[block.block_id]
+        if saw_corruption:
+            raise HdfsError(
+                f"all replicas of {block.block_id} are corrupt or missing"
+            )
         raise HdfsError(f"all replicas of {block.block_id} are missing")
 
     def _check_exists(self, path: str) -> None:

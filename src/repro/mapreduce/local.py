@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 from multiprocessing import get_context
 
 from repro.errors import FaultError, MapReduceError, TaskFailedError
+from repro.mapreduce.cancel import check_cancelled
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.faults import (
     FaultPlan,
@@ -95,6 +96,8 @@ def _attempt_worker(args):
                     attempt=attempt,
                 )
             time.sleep(fault.delay)
+        if fault is not None and fault.kind == "slow_node":
+            time.sleep(fault.delay)  # degraded node: latency, not failure
         if kind == "map":
             out, task_counters = _map_body(job, payload)
         else:
@@ -439,6 +442,7 @@ class MultiprocessRunner:
         """Single-worker degradation: serial attempt loop, same semantics."""
         tracer = current_tracer()
         for state in pending:
+            check_cancelled(state.task_id)
             speculative_retry = False
             with tracer.span(
                 f"task:{state.task_id}", kind="task",
@@ -566,6 +570,7 @@ class MultiprocessRunner:
 
         remaining = len(pending)
         while remaining > 0:
+            check_cancelled(f"{kind} phase poll")
             progressed = False
             now = time.monotonic()
             for att in list(active):

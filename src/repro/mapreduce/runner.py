@@ -34,6 +34,7 @@ from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 from repro.errors import FaultError, MapReduceError, TaskFailedError
+from repro.mapreduce.cancel import check_cancelled
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.faults import (
     FaultPlan,
@@ -294,6 +295,7 @@ class SerialRunner:
     ) -> tuple[TaskTrace, list[tuple]]:
         """Run one task to completion: checkpoint recovery, attempt loop,
         counter merging and trace assembly."""
+        check_cancelled(task_id)  # cooperative deadline/cancel point
         tracer = current_tracer()
         with tracer.span(
             f"task:{task_id}", kind="task", task_id=task_id, task_kind=kind
@@ -375,6 +377,7 @@ class SerialRunner:
         attempt = 0
         while True:
             attempt += 1
+            check_cancelled(task_id)
             fault = plan.fault_for(job.name, kind, index, attempt) if plan else None
             with tracer.span(
                 f"attempt:{attempt}", kind="attempt", attempt=attempt, task_id=task_id
@@ -394,6 +397,11 @@ class SerialRunner:
                         self._handle_hang(
                             fault, policy, task_id, attempt, completed_durations
                         )
+                    if fault is not None and fault.kind == "slow_node":
+                        # A degraded node, not a failure: the attempt pays
+                        # the latency and still completes.
+                        counters.increment("fault", "slow_node_delays")
+                        time.sleep(fault.delay)
                     t0 = time.perf_counter()
                     out, task_counters = body()
                     elapsed = time.perf_counter() - t0

@@ -35,6 +35,7 @@ trace of a multiprocess run shows per-process tracks.
 from __future__ import annotations
 
 import contextvars
+import itertools
 import os
 import time
 from collections.abc import Iterator
@@ -120,7 +121,9 @@ class Tracer:
         self.pid = os.getpid()
         self.spans: list[Span] = []
         self.metrics = MetricsRegistry()
-        self._next_id = 1
+        # itertools.count is atomic under the GIL, so span ids stay unique
+        # when service worker threads share one tracer.
+        self._ids = itertools.count(1)
 
     # ---- clock -----------------------------------------------------------
 
@@ -131,9 +134,7 @@ class Tracer:
     # ---- span creation ---------------------------------------------------
 
     def _new_id(self) -> int:
-        span_id = self._next_id
-        self._next_id += 1
-        return span_id
+        return next(self._ids)
 
     @contextmanager
     def span(self, name: str, *, kind: str = "span", **attrs) -> Iterator[Span]:

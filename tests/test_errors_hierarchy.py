@@ -19,6 +19,28 @@ class TestHierarchy:
         assert issubclass(errors.SimulationError, errors.MapReduceError)
         assert issubclass(errors.PigParseError, errors.PigError)
 
+    def test_service_error_parentage(self):
+        for exc_type in (
+            errors.ServiceOverloadedError,
+            errors.CircuitOpenError,
+            errors.ServiceStoppedError,
+            errors.DeadlineExceededError,
+            errors.JobCancelledError,
+        ):
+            assert issubclass(exc_type, errors.ServiceError)
+        assert issubclass(errors.ServiceError, errors.ReproError)
+        # Service errors are a peer domain, not engine errors: catching
+        # MapReduceError must not swallow an admission rejection.
+        assert not issubclass(errors.ServiceError, errors.MapReduceError)
+
+    def test_retry_after_hint_formatting(self):
+        exc = errors.ServiceOverloadedError("queue full", retry_after=1.5)
+        assert exc.retry_after == 1.5
+        assert "1.50s" in str(exc)
+        open_exc = errors.CircuitOpenError("tripped", retry_after=0.25)
+        assert open_exc.retry_after == 0.25
+        assert "0.25s" in str(open_exc)
+
     def test_line_number_formatting(self):
         exc = errors.FastaParseError("bad record", line_number=7)
         assert "line 7" in str(exc)

@@ -109,3 +109,166 @@ class TestLocality:
         ma = a.put("/f", "x" * 40)
         mb = b.put("/f", "x" * 40)
         assert [blk.replicas for blk in ma.blocks] == [blk.replicas for blk in mb.blocks]
+
+
+class TestChecksums:
+    """Per-block CRC32: quarantine on mismatch, failover, fsck."""
+
+    def test_corrupt_replica_fails_over_to_good_copy(self, hdfs):
+        payload = "block checksums catch silent bit rot" * 2
+        meta = hdfs.put("/crc.txt", payload)
+        victim = meta.blocks[0].replicas[0]
+        held = sorted(
+            b.block_id for b in meta.blocks if victim in b.replicas
+        )
+        block_id = hdfs.corrupt_replica(victim, 0)
+        assert block_id == held[0]
+        # Read still succeeds, byte-identical, via the surviving replica.
+        assert hdfs.get_text("/crc.txt") == payload
+        stats = hdfs.integrity_stats()
+        assert stats["replicas_quarantined"] == 1
+        assert stats["crc_failovers"] == 1
+
+    def test_all_replicas_corrupt_raises(self):
+        fs = SimulatedHDFS(num_datanodes=2, block_size=64, replication=2, seed=0)
+        meta = fs.put("/doomed.txt", "x" * 32)
+        for node in meta.blocks[0].replicas:
+            fs.corrupt_replica(node, 0)
+        with pytest.raises(HdfsError, match="corrupt or missing"):
+            fs.get("/doomed.txt")
+
+    def test_corrupt_replica_out_of_range_returns_none(self, hdfs):
+        hdfs.put("/one.txt", "tiny")
+        assert hdfs.corrupt_replica(0, block_index=99) is None
+
+    def test_quarantined_replica_not_rereplicated(self, hdfs):
+        """rereplicate copies from a *verified* replica and restores the
+        replication factor after a quarantine."""
+        payload = "do not clone rotten bytes" * 3
+        meta = hdfs.put("/heal.txt", payload)
+        victim = meta.blocks[0].replicas[0]
+        hdfs.corrupt_replica(victim, 0)
+        assert hdfs.get_text("/heal.txt") == payload  # quarantines the copy
+        created = hdfs.rereplicate()
+        assert created >= 1
+        assert hdfs.fsck()["healthy"]
+        assert hdfs.get_text("/heal.txt") == payload
+
+    def test_fsck_reports_corruption_and_heals_counts(self, hdfs):
+        payload = "fsck scans every replica" * 4
+        meta = hdfs.put("/scan.txt", payload)
+        victim = meta.blocks[0].replicas[0]
+        hdfs.corrupt_replica(victim, 0)
+        report = hdfs.fsck()
+        assert not report["healthy"]
+        assert report["replicas_quarantined"] == 1
+        assert report["under_replicated_blocks"] == 1
+        assert report["files"]["/scan.txt"]["under_replicated"]
+        hdfs.rereplicate()
+        assert hdfs.fsck()["healthy"]
+
+    def test_fsck_clean_cluster(self, hdfs):
+        hdfs.put("/ok.txt", "all good here" * 4)
+        report = hdfs.fsck()
+        assert report["healthy"]
+        assert report["missing_blocks"] == 0
+        assert report["under_replicated_blocks"] == 0
+        assert report["total_blocks"] == hdfs.stat("/ok.txt").num_blocks
+        assert report["live_datanodes"] == [0, 1, 2, 3]
+
+
+class TestDegradedDatanodes:
+    def test_reads_route_around_degraded_node(self, hdfs):
+        payload = "degraded nodes serve only as a last resort" * 2
+        meta = hdfs.put("/deg.txt", payload)
+        node = meta.blocks[0].replicas[0]
+        hdfs.degrade_datanode(node)
+        assert hdfs.get_text("/deg.txt") == payload
+        # Every block had a healthy replica, so no degraded reads yet.
+        assert hdfs.fsck()["degraded_datanodes"] == [node]
+
+    def test_degraded_node_still_readable_when_last_copy(self):
+        fs = SimulatedHDFS(num_datanodes=2, block_size=64, replication=2, seed=0)
+        fs.put("/last.txt", "y" * 32)
+        fs.degrade_datanode(0)
+        fs.degrade_datanode(1)
+        assert fs.get_text("/last.txt") == "y" * 32
+        assert fs.integrity_stats()["degraded_reads"] >= 1
+
+    def test_restore_clears_degradation(self, hdfs):
+        hdfs.degrade_datanode(1)
+        assert hdfs.fsck()["degraded_datanodes"] == [1]
+        hdfs.restore_datanode(1)
+        assert hdfs.fsck()["degraded_datanodes"] == []
+
+
+class TestRereplicateEdgeCases:
+    def test_all_replicas_lost_raises(self):
+        fs = SimulatedHDFS(num_datanodes=3, block_size=64, replication=2, seed=0)
+        meta = fs.put("/lost.txt", "z" * 32)
+        for node in meta.blocks[0].replicas:
+            fs.fail_datanode(node)
+        with pytest.raises(HdfsError, match="lost all replicas"):
+            fs.rereplicate()
+
+    def test_replication_clamped_when_live_below_factor(self):
+        fs = SimulatedHDFS(num_datanodes=4, block_size=64, replication=3, seed=0)
+        fs.put("/clamp.txt", "w" * 32)
+        fs.fail_datanode(0)
+        fs.fail_datanode(1)
+        fs.rereplicate()  # only 2 live nodes: want clamps to 2, no raise
+        for block in fs.stat("/clamp.txt").blocks:
+            live_replicas = [n for n in block.replicas if fs.datanode_alive(n)]
+            assert len(live_replicas) == 2
+        assert fs.fsck()["healthy"]  # want is clamped in fsck too
+
+    def test_restart_then_rereplicate_converges(self):
+        fs = SimulatedHDFS(num_datanodes=3, block_size=64, replication=2, seed=0)
+        payload = "v" * 100
+        fs.put("/conv.txt", payload)
+        fs.fail_datanode(0)
+        fs.rereplicate()
+        assert fs.get_text("/conv.txt") == payload
+        fs.restart_datanode(0)  # rejoins with its (stale-but-valid) store
+        created = fs.rereplicate()
+        assert created == 0  # already at factor: convergence, not churn
+        assert fs.fsck()["healthy"]
+        assert fs.get_text("/conv.txt") == payload
+
+    def test_rereplicate_noop_on_healthy_cluster(self, hdfs):
+        hdfs.put("/noop.txt", "steady state" * 4)
+        assert hdfs.rereplicate() == 0
+
+
+class TestBitRotFaultPlan:
+    def test_block_bitrot_barrier_exercises_crc_path(self):
+        from repro.mapreduce.faults import BlockBitRot, FaultPlan
+
+        fs = SimulatedHDFS(num_datanodes=4, block_size=64, replication=2, seed=0)
+        payload = "bit rot strikes between job phases" * 4
+        fs.put("/rot.txt", payload)
+        plan = FaultPlan(block_bitrot=[BlockBitRot("map_end", 1)]).bind_hdfs(fs)
+        from repro.mapreduce.counters import Counters
+
+        counters = Counters()
+        plan.trigger_barrier("map_end", counters)
+        assert counters.get("fault", "blocks_bitrotted") == 1
+        assert fs.get_text("/rot.txt") == payload  # CRC failover saved it
+        assert fs.integrity_stats()["replicas_quarantined"] >= 0
+        # Barrier fires once even if triggered again.
+        plan.trigger_barrier("map_end", counters)
+        assert counters.get("fault", "blocks_bitrotted") == 1
+
+    def test_datanode_degrade_barrier(self):
+        from repro.mapreduce.faults import DatanodeDegrade, FaultPlan
+
+        fs = SimulatedHDFS(num_datanodes=4, block_size=64, replication=2, seed=0)
+        fs.put("/d.txt", "route around me" * 4)
+        plan = FaultPlan(datanode_degrades=[DatanodeDegrade("job_start", 2)]).bind_hdfs(fs)
+        from repro.mapreduce.counters import Counters
+
+        counters = Counters()
+        plan.trigger_barrier("job_start", counters)
+        assert counters.get("fault", "datanodes_degraded") == 1
+        assert fs.fsck()["degraded_datanodes"] == [2]
+        assert fs.datanode_alive(2)  # degraded, not dead

@@ -1,0 +1,199 @@
+"""Chaos soak for the multi-tenant job service.
+
+Three tenants submit deterministic Map-Reduce jobs while the shared
+runner injects seeded crashes, hangs, and slow-node latency.  The
+acceptance bit mirrors the engine-level chaos suite: every *accepted*
+job must finish with output byte-identical to a fault-free run, or be
+deterministically rejected with a typed error — and drain must always
+terminate.
+
+The seed comes from ``CHAOS_SEED`` (default 0) so CI sweeps a matrix of
+seeds over the same test.  Fault draws are a pure function of
+``(seed, job_name, kind, index, attempt)``; job names are unique per
+ticket, so the per-job fault pattern is independent of which worker
+thread runs it.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import ServiceOverloadedError
+from repro.mapreduce import (
+    JobConf,
+    MapReduceJob,
+    RetryPolicy,
+)
+from repro.mapreduce.faults import FaultPlan
+from repro.mapreduce.runner import SerialRunner
+from repro.mapreduce.service import JobService, MapReduceSpec
+
+pytestmark = pytest.mark.chaos
+
+CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "0"))
+
+TENANTS = ("alpha", "beta", "gamma")
+
+
+def _word_mapper(key, value):
+    for word in value.split():
+        yield word, 1
+
+
+def _sum_reducer(key, values):
+    yield key, sum(values)
+
+
+def count_spec(name: str, text: str) -> MapReduceSpec:
+    """Deterministic word-count job: output depends only on ``text``."""
+    job = MapReduceJob(name=name, mapper=_word_mapper, reducer=_sum_reducer)
+    return MapReduceSpec(
+        job=job,
+        inputs=tuple((i, line) for i, line in enumerate(text.splitlines())),
+        conf=JobConf(num_map_tasks=3, num_reduce_tasks=2),
+    )
+
+
+def workload() -> list[tuple[str, MapReduceSpec]]:
+    """(tenant, spec) pairs; job names are unique and stable."""
+    corpus = "the quick brown fox jumps over the lazy dog\n" * 4
+    out = []
+    for tenant in TENANTS:
+        for j in range(4):
+            out.append((tenant, count_spec(f"{tenant}-wc{j}", corpus + tenant)))
+    return out
+
+
+def clean_results() -> dict[str, list]:
+    """Fault-free reference output for every job in the workload."""
+    runner = SerialRunner(trace=False)
+    return {
+        spec.job.name: sorted(spec.execute(runner).output)
+        for _tenant, spec in workload()
+    }
+
+
+def chaos_plan() -> FaultPlan:
+    return FaultPlan(
+        seed=CHAOS_SEED,
+        mapper_crash_rate=0.25,
+        reducer_crash_rate=0.1,
+        slow_node_rate=0.3,
+        slow_node_delay=0.002,
+        max_faulted_attempts=2,
+    )
+
+
+class TestServiceChaosSoak:
+    def test_accepted_jobs_survive_chaos_byte_identical(self):
+        reference = clean_results()
+        runner = SerialRunner(
+            trace=False,
+            fault_plan=chaos_plan(),
+            retry=RetryPolicy(max_attempts=3, backoff=0.0),
+        )
+        svc = JobService(
+            num_slots=2,
+            queue_depth=8,
+            policy="fair",
+            runner=runner,
+            retry=RetryPolicy(max_attempts=2, backoff=0.001, jitter=1.0, seed=CHAOS_SEED),
+        )
+        tickets = [
+            (svc.submit(tenant, spec), spec) for tenant, spec in workload()
+        ]
+        svc.start()
+        slow_delays = 0
+        for ticket, spec in tickets:
+            result = ticket.result(timeout=60)
+            assert sorted(result.output) == reference[spec.job.name], (
+                f"chaos changed the answer for {spec.job.name}"
+            )
+            slow_delays += result.counters.get("fault", "slow_node_delays")
+        assert svc.drain(timeout=30) is True, "drain must always terminate"
+        health = svc.health()
+        assert health["totals"]["completed"] == len(tickets)
+        assert health["totals"]["queued"] == 0
+        assert health["totals"]["running"] == 0
+        # The chaos really happened for at least one of the sweep seeds;
+        # slow-node draws at rate 0.3 over ~60 attempts fire essentially
+        # always, independent of crash recovery.
+        assert slow_delays > 0, "chaos plan injected no slow-node faults"
+        svc.shutdown()
+
+    def test_chaos_soak_is_reproducible(self):
+        def one_pass():
+            runner = SerialRunner(
+                trace=False,
+                fault_plan=chaos_plan(),
+                retry=RetryPolicy(max_attempts=3, backoff=0.0),
+            )
+            with JobService(num_slots=2, queue_depth=8, runner=runner) as svc:
+                tickets = [
+                    (svc.submit(tenant, spec), spec)
+                    for tenant, spec in workload()
+                ]
+                outputs = {
+                    spec.job.name: sorted(t.result(timeout=60).output)
+                    for t, spec in tickets
+                }
+            return outputs
+
+        assert one_pass() == one_pass()
+
+    def test_overload_shed_set_is_deterministic(self):
+        """Pre-start bursts shed on queue occupancy alone: same burst,
+        same shed set, chaos or not."""
+
+        def burst():
+            runner = SerialRunner(
+                trace=False,
+                fault_plan=chaos_plan(),
+                retry=RetryPolicy(max_attempts=3, backoff=0.0),
+            )
+            svc = JobService(num_slots=2, queue_depth=2, runner=runner)
+            accepted, shed = [], []
+            for tenant, spec in workload():  # 4 jobs/tenant into depth-2 queues
+                try:
+                    accepted.append(svc.submit(tenant, spec).id)
+                except ServiceOverloadedError:
+                    shed.append(spec.job.name)
+            svc.start()
+            assert svc.drain(timeout=60) is True
+            health = svc.health()
+            svc.shutdown()
+            assert health["totals"]["completed"] == len(accepted)
+            return accepted, shed, health["totals"]["shed"]
+
+        first, second = burst(), burst()
+        assert first == second
+        accepted, shed, shed_count = first
+        assert len(accepted) == len(TENANTS) * 2  # depth 2 per tenant
+        assert shed_count == len(shed) == len(TENANTS) * 2
+
+    def test_hang_faults_under_deadline_terminate(self):
+        """Hung attempts plus deadlines: every ticket reaches a terminal
+        typed state and drain still terminates."""
+        plan = FaultPlan(
+            seed=CHAOS_SEED,
+            hang_rate=0.5,
+            hang_delay=0.05,
+            max_faulted_attempts=2,
+        )
+        runner = SerialRunner(
+            trace=False, fault_plan=plan, retry=RetryPolicy(max_attempts=3)
+        )
+        svc = JobService(num_slots=2, queue_depth=8, runner=runner)
+        tickets = [
+            svc.submit(tenant, spec, deadline=30.0)
+            for tenant, spec in workload()[:6]
+        ]
+        svc.start()
+        for t in tickets:
+            t.event.wait(60)
+            assert t.done()
+            assert t.status in ("done", "expired")
+        assert svc.drain(timeout=30) is True
+        svc.shutdown()
