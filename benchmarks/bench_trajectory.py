@@ -67,7 +67,13 @@ WORKLOAD = {
 #       fixed overload (exact gate), admission-to-finish latency
 #       percentiles (tolerance gates), and the informational ``service``
 #       block with the full health snapshot and fluid-model error.
-SCHEMA_VERSION = 3
+#   4 — adds the engine-sparse chain (repro.cluster.sparse_jobs):
+#       deterministic candidate-pair count (exact gate, cross-checked
+#       against the in-process join before recording), chain shuffle
+#       bytes (tolerance gate — _approx_bytes sampling is deterministic
+#       but pickle sizes can shift across python versions), round count
+#       (exact), and the chain's wall time.
+SCHEMA_VERSION = 4
 
 
 def _best_of(rounds: int, fn) -> float:
@@ -216,6 +222,17 @@ def collect(
     # -- candidate generation (the sparse similarity join) ---------------
     candidates_ms = _best_of(rounds, lambda: candidate_pair_arrays(sketches))
 
+    # -- the same join as a two-job MapReduce chain (sparse_jobs) ---------
+    from repro.cluster.sparse import candidate_pairs
+    from repro.cluster.sparse_jobs import engine_candidate_pairs
+
+    engine_ms = _best_of(rounds, lambda: engine_candidate_pairs(sketches))
+    engine_pairs, engine_run = engine_candidate_pairs(sketches)
+    if engine_pairs != candidate_pairs(sketches):
+        raise AssertionError(
+            "engine-sparse candidate pairs diverged from the in-process join"
+        )
+
     # -- shuffle bytes with the b-bit wire codec --------------------------
     model = MrMCMinH(
         kmer_size=w["kmer_size"],
@@ -273,6 +290,35 @@ def collect(
             "unit": "ms",
             "direction": "lower",
             "tolerance": 3.0,
+        },
+        "sparse_engine_ms": {
+            "value": round(engine_ms, 3),
+            "unit": "ms",
+            "direction": "lower",
+            "tolerance": 3.0,
+        },
+        "sparse_candidate_pairs": {
+            # Deterministic function of the pinned workload's sketches;
+            # cross-checked against the in-process join above, so any
+            # drift is a correctness bug in one of the two paths.
+            "value": len(engine_pairs),
+            "unit": "pairs",
+            "direction": "lower",
+            "tolerance": 0.0,
+            "exact": True,
+        },
+        "sparse_engine_rounds": {
+            "value": engine_run.rounds,
+            "unit": "rounds",
+            "direction": "lower",
+            "tolerance": 0.0,
+            "exact": True,
+        },
+        "sparse_shuffle_bytes": {
+            "value": engine_run.shuffle_bytes,
+            "unit": "bytes",
+            "direction": "lower",
+            "tolerance": 0.1,
         },
         "shuffle_bytes_raw": {
             "value": bytes_raw,

@@ -50,6 +50,11 @@ def _add_pipeline_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--method", choices=METHODS, default="hierarchical")
     parser.add_argument("--linkage", choices=LINKAGES, default="average")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--engine-sparse", action="store_true",
+        help="force the LSH candidate-generation MapReduce job chain "
+        "(default: auto — dense below the size cutoff, engine-sparse above)",
+    )
 
 
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
@@ -72,6 +77,7 @@ def _fit(args) -> tuple:
         method=args.method,
         linkage=args.linkage,
         seed=args.seed,
+        sparse="engine" if getattr(args, "engine_sparse", False) else "auto",
     )
     obs_log = getattr(args, "obs", None)
     chrome_path = getattr(args, "chrome_trace", None)
@@ -110,9 +116,17 @@ def cmd_cluster(args) -> int:
     print(
         f"# {assignment.num_sequences} sequences -> "
         f"{assignment.num_clusters} clusters "
-        f"({run.wall_seconds:.2f}s)",
+        f"({run.wall_seconds:.2f}s, {run.mode} similarity path)",
         file=sys.stderr,
     )
+    if run.sparse_stats:
+        stats = run.sparse_stats
+        print(
+            f"# sparse: {stats['candidate_pairs']} candidate pairs, "
+            f"{stats['rounds']} round(s), "
+            f"{stats['shuffle_bytes']} shuffle bytes",
+            file=sys.stderr,
+        )
     return 0
 
 

@@ -32,9 +32,17 @@ from repro.cluster.representatives import (
 from repro.cluster.sparse import (
     candidate_pairs,
     candidate_pairs_mapreduce,
+    greedy_from_edges,
+    single_linkage_from_edges,
     sparse_greedy_cluster,
     sparse_similarity,
     sparse_single_linkage,
+)
+from repro.cluster.sparse_jobs import (
+    SparseEngineRun,
+    engine_candidate_pairs,
+    engine_sparse_cluster,
+    run_sparse_jobs,
 )
 from repro.cluster.denoise import rescue_small_clusters
 from repro.cluster.classify import (
@@ -64,9 +72,15 @@ __all__ = [
     "representative_records",
     "candidate_pairs",
     "candidate_pairs_mapreduce",
+    "greedy_from_edges",
+    "single_linkage_from_edges",
     "sparse_similarity",
     "sparse_single_linkage",
     "sparse_greedy_cluster",
+    "SparseEngineRun",
+    "engine_candidate_pairs",
+    "engine_sparse_cluster",
+    "run_sparse_jobs",
     "rescue_small_clusters",
     "Classification",
     "ReferenceDb",

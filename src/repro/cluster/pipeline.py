@@ -23,7 +23,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import ClusteringError, SketchError
+from repro.errors import (
+    ClusterConfigError,
+    ClusteringError,
+    SketchError,
+    SparseCompatibilityError,
+    WireCompatibilityError,
+)
 from repro.cluster.assignments import ClusterAssignment
 from repro.cluster.greedy import greedy_cluster
 from repro.cluster.hierarchical import LINKAGES, agglomerative_cluster
@@ -45,6 +51,16 @@ from repro.seq.fasta import format_fasta
 from repro.seq.records import SequenceRecord
 
 METHODS = ("greedy", "hierarchical")
+
+#: Valid values of the pipeline's ``sparse`` parameter.
+SPARSE_MODES = (False, True, "auto", "engine")
+
+#: Below this many sketches ``sparse="auto"`` stays on the dense path —
+#: the all-pairs matrix is cheap at small N and the dense estimators are
+#: the paper-literal reference; above it the quadratic wall dominates and
+#: auto switches to the MapReduce LSH chain when the configured shape is
+#: one the sparse path computes exactly.
+SPARSE_AUTO_CUTOFF = 4096
 
 
 class _SketchMapper:
@@ -116,6 +132,10 @@ class ClusteringRun:
     traces: list[JobTrace]
     timings: dict[str, float]
     counters: Counters = field(default_factory=Counters)
+    mode: str = "dense"
+    """Similarity path actually taken: ``dense``, ``sparse`` or ``engine``."""
+    sparse_stats: dict | None = None
+    """Candidate/edge/round/shuffle accounting when a sparse path ran."""
 
     @property
     def wall_seconds(self) -> float:
@@ -149,12 +169,26 @@ class MrMCMinH:
     num_map_tasks:
         Parallelism of the sketch and similarity jobs.
     sparse:
-        Use the min-hash collision join instead of the dense all-pairs
-        job (see :mod:`repro.cluster.sparse`).  Exact for
-        ``method="greedy"`` with the positional estimator and for
-        ``method="hierarchical"`` with ``linkage="single"`` — the two
-        shapes that scale to paper-sized inputs; other combinations
-        reject the flag.
+        Similarity-stage strategy.  ``"auto"`` (the default) runs the
+        dense all-pairs job below ``sparse_cutoff`` sketches and the
+        MapReduce LSH chain (:mod:`repro.cluster.sparse_jobs`) above it
+        whenever the configured shape is sparse-exact; shapes that are
+        not (θ <= 0, non-single hierarchical linkage, an explicitly
+        requested non-positional estimator) stay dense at every size.
+        ``True`` forces the in-process collision join, ``"engine"``
+        forces the two-job chain on the engine, ``False`` forces dense.
+        The sparse paths are exact for ``method="greedy"`` with the
+        positional estimator and for ``method="hierarchical"`` with
+        ``linkage="single"`` — the two shapes that scale to paper-sized
+        inputs; forcing sparse for other combinations raises
+        :class:`~repro.errors.SparseCompatibilityError`.  Note that when
+        auto flips a default-estimator greedy run to the sparse chain it
+        clusters with the positional estimator (the sparse-exact form)
+        rather than the dense default ``"set"``; pass ``sparse=False``
+        or ``estimator="set"`` to pin the paper-literal set estimator.
+    sparse_cutoff:
+        Sketch count at which ``sparse="auto"`` switches from dense to
+        the engine chain.
     wire_bits:
         Ship sketches through the shuffle as b-bit compressed frames
         (see :mod:`repro.minhash.wire`), cutting sketch-job shuffle
@@ -179,55 +213,109 @@ class MrMCMinH:
         seed: int = 0,
         runner=None,
         num_map_tasks: int = 4,
-        sparse: bool = False,
+        sparse: bool | str = "auto",
         wire_bits: int | None = None,
+        sparse_cutoff: int = SPARSE_AUTO_CUTOFF,
     ):
         if method not in METHODS:
-            raise ClusteringError(
+            raise ClusterConfigError(
                 f"unknown method {method!r}; expected one of {METHODS}"
             )
         if linkage not in LINKAGES:
-            raise ClusteringError(
+            raise ClusterConfigError(
                 f"unknown linkage {linkage!r}; expected one of {LINKAGES}"
             )
         if not 0.0 <= threshold <= 1.0:
-            raise ClusteringError(f"threshold must be in [0,1], got {threshold}")
+            raise ClusterConfigError(f"threshold must be in [0,1], got {threshold}")
         if num_map_tasks < 1:
-            raise ClusteringError(f"num_map_tasks must be >= 1, got {num_map_tasks}")
+            raise ClusterConfigError(
+                f"num_map_tasks must be >= 1, got {num_map_tasks}"
+            )
+        if sparse not in SPARSE_MODES:
+            raise ClusterConfigError(
+                f"unknown sparse mode {sparse!r}; expected one of {SPARSE_MODES}"
+            )
+        if sparse_cutoff < 1:
+            raise ClusterConfigError(
+                f"sparse_cutoff must be >= 1, got {sparse_cutoff}"
+            )
         self.config = SketchingConfig(
             kmer_size=kmer_size, num_hashes=num_hashes, seed=seed
         )
         self.threshold = threshold
         self.method = method
         self.linkage = linkage
+        # "auto" keeps the paper-literal dense default (set estimator for
+        # greedy) and only switches estimator semantics when it actually
+        # flips to the sparse chain at fit time.
+        self._estimator_explicit = estimator is not None
         self.estimator = estimator or (
-            "set" if method == "greedy" and not sparse else "positional"
+            "set"
+            if method == "greedy" and sparse in (False, "auto")
+            else "positional"
         )
         self.runner = runner or SerialRunner()
         self.num_map_tasks = num_map_tasks
         self.sparse = sparse
+        self.sparse_cutoff = sparse_cutoff
         self.wire_bits = wire_bits
         if wire_bits is not None:
             if self.estimator != "positional":
-                raise ClusteringError(
+                raise WireCompatibilityError(
                     "wire_bits requires the positional estimator (the b-bit "
                     "collision correction does not apply to the set form)"
                 )
             # Validates the bit width up front.
             effective_threshold(threshold, wire_bits)
-        if sparse:
+        if sparse in (True, "engine"):
             if threshold <= 0.0:
-                raise ClusteringError("sparse mode requires threshold > 0")
+                raise SparseCompatibilityError(
+                    "sparse mode requires threshold > 0",
+                    method=method,
+                    linkage=linkage,
+                    estimator=self.estimator,
+                )
             if method == "hierarchical" and linkage != "single":
-                raise ClusteringError(
+                raise SparseCompatibilityError(
                     "sparse hierarchical clustering is exact only for "
-                    "single linkage; use linkage='single' or sparse=False"
+                    "single linkage; use linkage='single' or sparse=False",
+                    method=method,
+                    linkage=linkage,
+                    estimator=self.estimator,
                 )
             if method == "greedy" and self.estimator != "positional":
-                raise ClusteringError(
+                raise SparseCompatibilityError(
                     "sparse greedy clustering uses the positional estimator; "
-                    "drop estimator='set' or sparse=False"
+                    "drop estimator='set' or sparse=False",
+                    method=method,
+                    linkage=linkage,
+                    estimator=self.estimator,
                 )
+
+    def _resolve_mode(self, num_sketches: int) -> str:
+        """Resolve the ``sparse`` setting to a concrete similarity path.
+
+        Returns one of ``"dense"``, ``"sparse"`` (in-process collision
+        join) or ``"engine"`` (the :mod:`repro.cluster.sparse_jobs` two-job
+        chain).  ``"auto"`` never raises: shapes the sparse path cannot
+        compute exactly simply stay dense.
+        """
+        if self.sparse is True:
+            return "sparse"
+        if self.sparse == "engine":
+            return "engine"
+        if self.sparse is False:
+            return "dense"
+        # ---- "auto": dense small-N fallback, engine-sparse at scale ------
+        if num_sketches < self.sparse_cutoff:
+            return "dense"
+        if self.threshold <= 0.0:
+            return "dense"
+        if self.method == "hierarchical" and self.linkage != "single":
+            return "dense"
+        if self._estimator_explicit and self.estimator != "positional":
+            return "dense"
+        return "engine"
 
     # ------------------------------------------------------------------ fit
 
@@ -250,7 +338,7 @@ class MrMCMinH:
             "pipeline:mrmcminh",
             kind="pipeline",
             method=self.method,
-            sparse=self.sparse,
+            sparse=str(self.sparse),
             num_records=len(records),
         ):
             return self._fit_traced(records, tracer)
@@ -309,7 +397,38 @@ class MrMCMinH:
 
         # ---- stage 2/3: similarity + clustering --------------------------
         similarity: np.ndarray | None = None
-        if self.sparse:
+        sparse_stats: dict | None = None
+        mode = self._resolve_mode(len(sketches))
+        if mode == "engine":
+            from repro.cluster.sparse_jobs import engine_sparse_cluster
+
+            engine_run = engine_sparse_cluster(
+                sketches,
+                theta,
+                method=self.method,
+                runner=self.runner,
+                num_map_tasks=self.num_map_tasks,
+                num_reduce_tasks=self.num_map_tasks,
+            )
+            counters.merge(engine_run.counters)
+            traces.extend(engine_run.traces)
+            timings["similarity"] = (
+                engine_run.timings["lsh_candidates"] + engine_run.timings["verify"]
+            )
+            timings["cluster"] = engine_run.timings["cluster"]
+            traces.append(
+                _clustering_trace(
+                    "sparse-cluster", len(sketches), timings["cluster"]
+                )
+            )
+            assignment = engine_run.assignment
+            sparse_stats = {
+                "candidate_pairs": len(engine_run.pairs),
+                "edges": len(engine_run.edges),
+                "rounds": engine_run.rounds,
+                "shuffle_bytes": engine_run.shuffle_bytes,
+            }
+        elif mode == "sparse":
             from repro.cluster.sparse import (
                 candidate_pairs_mapreduce,
                 sparse_greedy_cluster,
@@ -340,6 +459,15 @@ class MrMCMinH:
             elapsed = time.perf_counter() - t0
             timings["cluster"] = elapsed
             traces.append(_clustering_trace("sparse-cluster", len(sketches), elapsed))
+            sparse_stats = {
+                "candidate_pairs": len(_pairs),
+                "rounds": 1,
+                "shuffle_bytes": (
+                    sim_result.trace.shuffle_bytes
+                    if sim_result.trace is not None
+                    else 0
+                ),
+            }
         elif self.method == "hierarchical":
             t0 = time.perf_counter()
             with tracer.span("phase:similarity", kind="phase"):
@@ -388,6 +516,8 @@ class MrMCMinH:
             traces=traces,
             timings=timings,
             counters=counters,
+            mode=mode,
+            sparse_stats=sparse_stats,
         )
 
     # ------------------------------------------------------- HDFS round-trip

@@ -211,6 +211,65 @@ def candidate_pairs_mapreduce(
     return dict(counts), result
 
 
+def single_linkage_from_edges(
+    read_ids: Sequence[str],
+    edges,
+) -> ClusterAssignment:
+    """Single-linkage clustering over a stream of above-threshold edges.
+
+    ``edges`` is any iterable of ``(i, j)`` index pairs; every edge merges
+    the two components.  The result is independent of edge order and
+    duplication — :meth:`UnionFind.labels` renumbers components in
+    first-seen index order — which is what lets the in-process path and
+    the MapReduce job chain (:mod:`repro.cluster.sparse_jobs`) produce
+    byte-identical assignments from differently-ordered pair streams.
+    """
+    read_ids = list(read_ids)
+    if not read_ids:
+        raise ClusteringError("cannot cluster an empty sketch list")
+    uf = UnionFind(len(read_ids))
+    for i, j in edges:
+        uf.union(i, j)
+    return ClusterAssignment.from_labels(read_ids, uf.labels())
+
+
+def greedy_from_edges(
+    read_ids: Sequence[str],
+    edges,
+) -> ClusterAssignment:
+    """Algorithm 1's assignment sweep over a stream of above-threshold edges.
+
+    Scans indices in input order; the first unassigned index becomes a
+    representative and claims all its still-unassigned neighbours.  Only
+    the edge *set* matters (every neighbour of a representative gets the
+    same label), so this too is order/duplication independent and shared
+    by the in-process and engine paths.
+    """
+    read_ids = list(read_ids)
+    if not read_ids:
+        raise ClusteringError("cannot cluster an empty sketch list")
+    if len(set(read_ids)) != len(read_ids):
+        raise ClusteringError("sketch read ids must be unique")
+    neighbours: dict[int, list[int]] = defaultdict(list)
+    for i, j in edges:
+        neighbours[i].append(j)
+        neighbours[j].append(i)
+    n = len(read_ids)
+    labels = np.full(n, -1, dtype=np.int64)
+    next_label = 0
+    for i in range(n):
+        if labels[i] >= 0:
+            continue
+        labels[i] = next_label
+        for j in neighbours.get(i, ()):
+            # Only sequences after i in input order can still be
+            # unassigned; Algorithm 1 assigns them to the current rep.
+            if labels[j] < 0:
+                labels[j] = next_label
+        next_label += 1
+    return ClusterAssignment.from_labels(read_ids, [int(v) for v in labels])
+
+
 def sparse_single_linkage(
     sketches: Sequence[MinHashSketch],
     threshold: float,
@@ -234,11 +293,9 @@ def sparse_single_linkage(
     ii, jj, collisions = candidate_pair_arrays(sketches, max_group=max_group)
     num_hashes = len(sketches[0])
     hits = collisions / num_hashes >= threshold
-    uf = UnionFind(len(sketches))
-    for i, j in zip(ii[hits].tolist(), jj[hits].tolist()):
-        uf.union(i, j)
-    return ClusterAssignment.from_labels(
-        [s.read_id for s in sketches], uf.labels()
+    return single_linkage_from_edges(
+        [s.read_id for s in sketches],
+        zip(ii[hits].tolist(), jj[hits].tolist()),
     )
 
 
@@ -261,30 +318,12 @@ def sparse_greedy_cluster(
         raise ClusteringError(
             f"threshold must be in (0, 1] for the sparse path, got {threshold}"
         )
-    ids = [s.read_id for s in sketches]
-    if len(set(ids)) != len(ids):
-        raise ClusteringError("sketch read ids must be unique")
     ii, jj, collisions = candidate_pair_arrays(sketches, max_group=max_group)
     num_hashes = len(sketches[0])
     hits = collisions / num_hashes >= threshold
     # Only above-threshold edges can ever join a cluster; drop the rest
-    # before building adjacency.
-    neighbours: dict[int, list[int]] = defaultdict(list)
-    for i, j in zip(ii[hits].tolist(), jj[hits].tolist()):
-        neighbours[i].append(j)
-        neighbours[j].append(i)
-
-    n = len(sketches)
-    labels = np.full(n, -1, dtype=np.int64)
-    next_label = 0
-    for i in range(n):
-        if labels[i] >= 0:
-            continue
-        labels[i] = next_label
-        for j in neighbours.get(i, ()):
-            # Only sequences after i in input order can still be
-            # unassigned; Algorithm 1 assigns them to the current rep.
-            if labels[j] < 0:
-                labels[j] = next_label
-        next_label += 1
-    return ClusterAssignment.from_labels(ids, [int(v) for v in labels])
+    # before the assignment sweep.
+    return greedy_from_edges(
+        [s.read_id for s in sketches],
+        zip(ii[hits].tolist(), jj[hits].tolist()),
+    )

@@ -39,6 +39,43 @@ class ClusteringError(ReproError):
     """Invalid clustering input or parameters."""
 
 
+class ClusterConfigError(ClusteringError):
+    """Invalid pipeline configuration (unknown method/linkage, bad ranges).
+
+    Raised at construction time so misconfigured pipelines fail before any
+    job is launched, not mid-run.
+    """
+
+
+class SparseCompatibilityError(ClusterConfigError):
+    """Sparse mode requested for a shape it cannot compute exactly.
+
+    The collision-candidate join is exact only for single-linkage
+    hierarchical clustering and positional-estimator greedy clustering at
+    θ > 0; other combinations must either run dense or accept an
+    approximation the caller has not asked for, so they are rejected.
+    Carries the offending configuration for programmatic handling.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        method: str | None = None,
+        linkage: str | None = None,
+        estimator: str | None = None,
+    ):
+        self.method = method
+        self.linkage = linkage
+        self.estimator = estimator
+        super().__init__(message)
+
+
+class WireCompatibilityError(ClusterConfigError):
+    """``wire_bits`` requested with a configuration the b-bit collision
+    correction cannot serve (currently: any non-positional estimator)."""
+
+
 class MapReduceError(ReproError):
     """Errors raised by the Map-Reduce engine."""
 

@@ -123,6 +123,7 @@ class ClusterJobSpec:
     estimator: str | None = None
     seed: int = 0
     num_map_tasks: int = 4
+    sparse: bool | str = "auto"
 
     def describe(self) -> str:
         return f"cluster:{self.method}:{len(self.records)}reads"
@@ -140,12 +141,17 @@ class ClusterJobSpec:
             seed=self.seed,
             runner=runner,
             num_map_tasks=self.num_map_tasks,
+            sparse=self.sparse,
         )
         if degraded:
             kwargs["estimator"] = "positional"
             kwargs["wire_bits"] = 8
             if self.method == "greedy" or self.linkage == "single":
-                kwargs["sparse"] = True
+                # Keep an explicitly requested engine chain on the engine;
+                # otherwise degrade to the cheaper in-process join.
+                kwargs["sparse"] = (
+                    "engine" if self.sparse == "engine" else True
+                )
         pipeline = MrMCMinH(**kwargs)
         return pipeline.fit(list(self.records))
 

@@ -66,6 +66,70 @@ class TestHierarchy:
                 trigger()
 
 
+class TestClusteringErrorTaxonomy:
+    def test_parentage_chain(self):
+        assert issubclass(errors.ClusterConfigError, errors.ClusteringError)
+        assert issubclass(
+            errors.SparseCompatibilityError, errors.ClusterConfigError
+        )
+        assert issubclass(
+            errors.WireCompatibilityError, errors.ClusterConfigError
+        )
+        # Still inside the one-except contract.
+        assert issubclass(errors.SparseCompatibilityError, errors.ReproError)
+
+    def test_sparse_compatibility_error_carries_configuration(self):
+        exc = errors.SparseCompatibilityError(
+            "nope", method="hierarchical", linkage="average", estimator="set"
+        )
+        assert exc.method == "hierarchical"
+        assert exc.linkage == "average"
+        assert exc.estimator == "set"
+        assert str(exc) == "nope"
+        bare = errors.SparseCompatibilityError("bare")
+        assert bare.method is bare.linkage is bare.estimator is None
+
+    def test_pipeline_raises_typed_config_errors(self):
+        from repro.cluster.pipeline import MrMCMinH
+
+        with pytest.raises(errors.ClusterConfigError, match="method"):
+            MrMCMinH(method="kmeans")
+        with pytest.raises(errors.ClusterConfigError, match="linkage"):
+            MrMCMinH(linkage="centroid")
+        with pytest.raises(errors.ClusterConfigError, match="threshold"):
+            MrMCMinH(threshold=1.5)
+
+    def test_pipeline_raises_sparse_compatibility_with_attrs(self):
+        from repro.cluster.pipeline import MrMCMinH
+
+        with pytest.raises(errors.SparseCompatibilityError) as info:
+            MrMCMinH(sparse=True, method="hierarchical", linkage="average")
+        assert info.value.linkage == "average"
+        assert "single" in str(info.value)
+
+        with pytest.raises(errors.SparseCompatibilityError) as info:
+            MrMCMinH(sparse="engine", method="greedy", estimator="set")
+        assert info.value.estimator == "set"
+
+        with pytest.raises(errors.SparseCompatibilityError) as info:
+            MrMCMinH(sparse="engine", threshold=0.0)
+        assert "threshold > 0" in str(info.value)
+
+    def test_pipeline_raises_wire_compatibility(self):
+        from repro.cluster.pipeline import MrMCMinH
+
+        with pytest.raises(errors.WireCompatibilityError, match="positional"):
+            MrMCMinH(method="greedy", estimator="set", wire_bits=4)
+
+    def test_catching_clustering_error_covers_the_sparse_family(self):
+        from repro.cluster.sparse_jobs import run_sparse_jobs
+
+        with pytest.raises(errors.ClusteringError):
+            run_sparse_jobs([])
+        with pytest.raises(errors.ClusteringError):
+            run_sparse_jobs([], band_size=0)
+
+
 class TestSchedulerPipelineIntegration:
     def test_table3_workload_fifo_vs_fair(self):
         """Schedule several real pipeline runs as a shared-cluster

@@ -24,7 +24,7 @@ def make_hdfs():
     return SimulatedHDFS(num_datanodes=4, block_size=256, replication=2, seed=0)
 
 
-def run_pipeline(records, runner=None, hdfs=None):
+def run_pipeline(records, runner=None, hdfs=None, sparse=False):
     fs = hdfs or make_hdfs()
     model = MrMCMinH(
         kmer_size=5,
@@ -33,6 +33,7 @@ def run_pipeline(records, runner=None, hdfs=None):
         method="greedy",
         seed=0,
         runner=runner or SerialRunner(),
+        sparse=sparse,
     )
     MrMCMinH.stage_records(fs, "/in.fasta", records)
     run = model.fit_hdfs(fs, "/in.fasta", "/out.tsv")
@@ -124,6 +125,42 @@ class TestEndToEndChaos:
         assert report.failed_attempts >= 1
         assert report.retries >= 1
         assert "1 failed attempt(s)" in report.render().splitlines()[-2]
+
+    def test_sparse_jobs_chain_survives_chaos_byte_identical(
+        self, two_family_records
+    ):
+        from repro.mapreduce.faults import BlockBitRot
+
+        # Clean reference: the engine-sparse chain without faults, which
+        # itself must match the in-process sparse path byte for byte.
+        _clean_run, clean_tsv = run_pipeline(two_family_records, sparse="engine")
+        _in_process_run, in_process_tsv = run_pipeline(
+            two_family_records, sparse=True
+        )
+        assert clean_tsv == in_process_tsv
+
+        # Chaos: mapper crashes + corrupted shuffle partitions across all
+        # three jobs of the engine-sparse pipeline, plus silent bit-rot in
+        # a stored input replica (caught by the per-block CRC scanner).
+        chaos_fs = make_hdfs()
+        plan = FaultPlan(
+            seed=CHAOS_SEED,
+            mapper_crash_rate=0.15,
+            corrupt_rate=0.15,
+            max_faulted_attempts=2,
+            block_bitrot=[BlockBitRot("map_end", 1)],
+        ).bind_hdfs(chaos_fs)
+        runner = SerialRunner(fault_plan=plan, retry=RetryPolicy(max_attempts=4))
+        chaos_run, chaos_tsv = run_pipeline(
+            two_family_records, runner=runner, hdfs=chaos_fs, sparse="engine"
+        )
+
+        assert chaos_tsv == clean_tsv
+        assert chaos_run.mode == "engine"
+        assert chaos_run.sparse_stats["rounds"] == 2
+        retries = sum(t.total_retries for t in chaos_run.traces)
+        assert retries > 0, "chaos plan injected no faults for this seed"
+        assert chaos_run.counters.get("fault", "task_retries") == retries
 
     def test_chaos_on_multiprocess_runner(self, two_family_records):
         from repro.mapreduce.local import MultiprocessRunner

@@ -1,0 +1,125 @@
+"""Edge-case tests for the banded LSH index (repro.minhash.lsh).
+
+Covers the corners the clustering paths lean on: querying an empty
+index, duplicate insertion, band/row parameter validation, and — the
+property greedy clustering silently assumes — that the *set* of
+candidates returned is independent of insertion order.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import SketchError
+from repro.minhash.lsh import LshIndex, all_candidate_pairs
+from repro.minhash.sketch import MinHashSketch, sketches_from_matrix
+
+FAMILY = (8, 1 << 30, 0)
+
+
+def make_sketches(values):
+    values = np.asarray(values, dtype=np.int64)
+    return sketches_from_matrix(
+        values, [f"r{i}" for i in range(values.shape[0])], FAMILY
+    )
+
+
+def sk(read_id, values):
+    return MinHashSketch(
+        read_id=read_id, values=np.asarray(values, dtype=np.int64),
+        family_key=FAMILY,
+    )
+
+
+class TestEmptyIndex:
+    def test_query_on_empty_index_returns_no_candidates(self):
+        index = LshIndex(num_hashes=8, band_size=2)
+        assert index.candidates(sk("q", range(8))) == []
+        assert len(index) == 0
+        assert "q" not in index
+
+    def test_all_candidate_pairs_of_nothing_is_empty(self):
+        assert all_candidate_pairs([], band_size=2) == set()
+
+    def test_get_on_empty_index_raises(self):
+        index = LshIndex(num_hashes=8, band_size=2)
+        with pytest.raises(SketchError, match="not in index"):
+            index.get("missing")
+
+
+class TestDuplicateInsert:
+    def test_duplicate_read_id_rejected(self):
+        index = LshIndex(num_hashes=8, band_size=2)
+        index.insert(sk("a", range(8)))
+        with pytest.raises(SketchError, match="already indexed"):
+            index.insert(sk("a", range(8)))
+
+    def test_failed_duplicate_does_not_double_count_candidates(self):
+        # The rejected insert must not leave a second copy of the id in
+        # any band table (candidates would then report it twice).
+        index = LshIndex(num_hashes=8, band_size=2)
+        index.insert(sk("a", range(8)))
+        with pytest.raises(SketchError):
+            index.insert(sk("a", range(8)))
+        assert len(index) == 1
+        assert index.candidates(sk("probe", range(8))) == ["a"]
+
+
+class TestParameterValidation:
+    @pytest.mark.parametrize("band_size", [0, -1])
+    def test_band_size_must_be_positive(self, band_size):
+        with pytest.raises(SketchError, match="band_size"):
+            LshIndex(num_hashes=8, band_size=band_size)
+
+    @pytest.mark.parametrize("band_size", [3, 5, 7])
+    def test_band_size_must_divide_num_hashes(self, band_size):
+        with pytest.raises(SketchError, match="divide"):
+            LshIndex(num_hashes=8, band_size=band_size)
+
+    def test_sketch_width_must_match_index_width(self):
+        index = LshIndex(num_hashes=8, band_size=2)
+        with pytest.raises(SketchError, match="width"):
+            index.insert(sk("narrow", range(4)))
+        with pytest.raises(SketchError, match="width"):
+            index.candidates(sk("wide", range(16)))
+
+    def test_s_curve_inputs_validated(self):
+        with pytest.raises(SketchError, match="jaccard"):
+            LshIndex.candidate_probability(1.5, 2, 4)
+        with pytest.raises(SketchError, match=">= 1"):
+            LshIndex.candidate_probability(0.5, 0, 4)
+        with pytest.raises(SketchError, match=">= 1"):
+            LshIndex.threshold(2, 0)
+
+
+class TestInsertionOrderIndependence:
+    def test_candidate_set_is_order_independent(self):
+        rng = np.random.default_rng(7)
+        sketches = make_sketches(rng.integers(0, 4, size=(6, 8)))
+        probe = sk("probe", rng.integers(0, 4, size=8))
+
+        reference = None
+        for order in itertools.permutations(sketches):
+            index = LshIndex(num_hashes=8, band_size=2)
+            index.insert_all(order)
+            got = set(index.candidates(probe))
+            if reference is None:
+                reference = got
+            assert got == reference
+
+    def test_all_candidate_pairs_order_independent(self):
+        rng = np.random.default_rng(3)
+        values = rng.integers(0, 3, size=(7, 8))
+        sketches = make_sketches(values)
+        reference = all_candidate_pairs(sketches, band_size=2)
+        assert reference, "degenerate fixture: no collisions at all"
+        for seed in range(5):
+            shuffled = list(sketches)
+            np.random.default_rng(seed).shuffle(shuffled)
+            assert all_candidate_pairs(shuffled, band_size=2) == reference
+
+    def test_self_is_never_its_own_candidate(self):
+        index = LshIndex(num_hashes=8, band_size=2)
+        index.insert(sk("a", range(8)))
+        assert index.candidates(sk("a", range(8))) == []

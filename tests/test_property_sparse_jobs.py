@@ -1,0 +1,115 @@
+"""Property-test net over the dense <-> sparse <-> engine-sparse boundary.
+
+On random sketch sets (hypothesis-generated matrices), the engine-sparse
+job chain must produce exactly the in-process candidate pairs, and the
+three similarity paths must agree on the final clustering wherever
+exactness is guaranteed: byte-identical TSV for sparse vs engine-sparse
+(single linkage and greedy), dict-equal labels for dense-positional vs
+sparse greedy, and partition-equal clusters for dense vs sparse single
+linkage (the dense dendrogram numbers clusters differently from the
+union-find sweep, so equality is of the partition, not the label bytes).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.greedy import greedy_cluster
+from repro.cluster.hierarchical import agglomerative_cluster
+from repro.cluster.matrix import compute_similarity_matrix
+from repro.cluster.sparse import (
+    candidate_pairs,
+    sparse_greedy_cluster,
+    sparse_single_linkage,
+)
+from repro.cluster.sparse_jobs import engine_candidate_pairs, engine_sparse_cluster
+from repro.minhash.sketch import sketches_from_matrix
+
+# Small universes force plenty of collisions; n in [4, 24] keeps the
+# num_hashes/threshold grid interesting without slowing the suite.
+matrices = st.integers(min_value=0, max_value=2**32 - 1).flatmap(
+    lambda seed: st.tuples(
+        st.integers(min_value=2, max_value=24),   # records
+        st.integers(min_value=4, max_value=24),   # hashes
+        st.integers(min_value=2, max_value=12),   # universe
+    ).map(
+        lambda dims: np.random.default_rng(seed).integers(
+            0, dims[2], size=(dims[0], dims[1])
+        ).astype(np.int64)
+    )
+)
+
+thresholds = st.sampled_from([0.1, 0.2, 0.35, 0.5, 0.75, 0.9, 1.0])
+
+
+def make_sketches(values):
+    n, num_hashes = values.shape
+    return sketches_from_matrix(
+        values, [f"r{i}" for i in range(n)], (num_hashes, 1 << 30, 0)
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(values=matrices)
+def test_engine_pairs_exactly_equal_in_process_pairs(values):
+    sketches = make_sketches(values)
+    pairs, run = engine_candidate_pairs(sketches)
+    assert pairs == candidate_pairs(sketches)
+    assert run.rounds == 2
+
+
+@settings(max_examples=25, deadline=None)
+@given(values=matrices, min_shared=st.integers(1, 4))
+def test_engine_pairs_respect_min_shared(values, min_shared):
+    sketches = make_sketches(values)
+    pairs, _ = engine_candidate_pairs(sketches, min_shared=min_shared)
+    assert pairs == candidate_pairs(sketches, min_shared=min_shared)
+
+
+@settings(max_examples=30, deadline=None)
+@given(values=matrices, threshold=thresholds)
+def test_single_linkage_sparse_vs_engine_byte_identical(values, threshold):
+    sketches = make_sketches(values)
+    in_process = sparse_single_linkage(sketches, threshold)
+    engine = engine_sparse_cluster(sketches, threshold, method="hierarchical")
+    assert in_process.to_tsv() == engine.assignment.to_tsv()
+
+
+@settings(max_examples=30, deadline=None)
+@given(values=matrices, threshold=thresholds)
+def test_greedy_sparse_vs_engine_byte_identical(values, threshold):
+    sketches = make_sketches(values)
+    in_process = sparse_greedy_cluster(sketches, threshold)
+    engine = engine_sparse_cluster(sketches, threshold, method="greedy")
+    assert in_process.to_tsv() == engine.assignment.to_tsv()
+
+
+@settings(max_examples=25, deadline=None)
+@given(values=matrices, threshold=thresholds)
+def test_greedy_dense_positional_vs_sparse_identical(values, threshold):
+    sketches = make_sketches(values)
+    dense = greedy_cluster(sketches, threshold, estimator="positional")
+    sparse = sparse_greedy_cluster(sketches, threshold)
+    assert dict(dense.items()) == dict(sparse.items())
+
+
+@settings(max_examples=25, deadline=None)
+@given(values=matrices, threshold=thresholds)
+def test_single_linkage_dense_vs_sparse_same_partition(values, threshold):
+    sketches = make_sketches(values)
+    similarity, _ = compute_similarity_matrix(sketches, estimator="positional")
+    dense = agglomerative_cluster(
+        similarity,
+        [s.read_id for s in sketches],
+        threshold,
+        linkage="single",
+    )
+    sparse = sparse_single_linkage(sketches, threshold)
+
+    def partition(assignment):
+        clusters = {}
+        for read_id, label in assignment.items():
+            clusters.setdefault(label, set()).add(read_id)
+        return {frozenset(members) for members in clusters.values()}
+
+    assert partition(dense) == partition(sparse)
