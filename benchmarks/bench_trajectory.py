@@ -73,7 +73,14 @@ WORKLOAD = {
 #       bytes (tolerance gate — _approx_bytes sampling is deterministic
 #       but pickle sizes can shift across python versions), round count
 #       (exact), and the chain's wall time.
-SCHEMA_VERSION = 4
+#   5 — adds the external spill-to-disk shuffle: ``spill_parity`` (exact
+#       gate — a spilled+streamed run of the engine chain must produce
+#       byte-identical candidate pairs and assignments to the in-memory
+#       run), ``spill_segments`` (exact — the spill-everything segment
+#       count is a pure function of the workload), and
+#       ``shuffle_spill_bytes`` (tolerance — pickle sizes may shift
+#       across python versions).
+SCHEMA_VERSION = 5
 
 
 def _best_of(rounds: int, fn) -> float:
@@ -233,6 +240,32 @@ def collect(
             "engine-sparse candidate pairs diverged from the in-process join"
         )
 
+    # -- spilled + streamed vs in-memory parity (external shuffle) --------
+    from repro.cluster.sparse_jobs import engine_sparse_cluster
+
+    spilled_pairs, spill_run = engine_candidate_pairs(
+        sketches, spill_threshold_bytes=0
+    )
+    mem_cluster = engine_sparse_cluster(sketches, w["threshold"])
+    spill_cluster = engine_sparse_cluster(
+        sketches, w["threshold"], stream=True, spill_threshold_bytes=0
+    )
+    spill_parity = int(
+        spilled_pairs == engine_pairs
+        and spill_cluster.assignment.to_tsv() == mem_cluster.assignment.to_tsv()
+        and spill_cluster.candidate_pair_count == len(mem_cluster.pairs)
+    )
+    if not spill_parity:
+        raise AssertionError(
+            "spilled/streamed engine chain diverged from the in-memory run"
+        )
+    spill_segments = spill_run.counters.get(
+        "shuffle", "spill_segments"
+    ) + spill_cluster.counters.get("shuffle", "spill_segments")
+    spill_bytes = spill_run.counters.get(
+        "shuffle", "spill_bytes"
+    ) + spill_cluster.counters.get("shuffle", "spill_bytes")
+
     # -- shuffle bytes with the b-bit wire codec --------------------------
     model = MrMCMinH(
         kmer_size=w["kmer_size"],
@@ -316,6 +349,30 @@ def collect(
         },
         "sparse_shuffle_bytes": {
             "value": engine_run.shuffle_bytes,
+            "unit": "bytes",
+            "direction": "lower",
+            "tolerance": 0.1,
+        },
+        "spill_parity": {
+            # 1 iff the spill-everything + streamed-edges run of the
+            # engine chain reproduced the in-memory candidate pairs and
+            # assignment byte for byte; asserted above, gated here so a
+            # baseline diff also shows it.
+            "value": spill_parity,
+            "unit": "bool",
+            "direction": "higher",
+            "tolerance": 0.0,
+            "exact": True,
+        },
+        "spill_segments": {
+            "value": spill_segments,
+            "unit": "segments",
+            "direction": "lower",
+            "tolerance": 0.0,
+            "exact": True,
+        },
+        "shuffle_spill_bytes": {
+            "value": spill_bytes,
             "unit": "bytes",
             "direction": "lower",
             "tolerance": 0.1,

@@ -55,6 +55,12 @@ def _add_pipeline_args(parser: argparse.ArgumentParser) -> None:
         help="force the LSH candidate-generation MapReduce job chain "
         "(default: auto — dense below the size cutoff, engine-sparse above)",
     )
+    parser.add_argument(
+        "--spill-threshold", type=int, default=None, metavar="BYTES",
+        help="engage the external spill-to-disk shuffle: per-partition "
+        "map-output buffers over this size spill to CRC-guarded segment "
+        "files (0 = spill everything; default: in-memory shuffle)",
+    )
 
 
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
@@ -78,6 +84,7 @@ def _fit(args) -> tuple:
         linkage=args.linkage,
         seed=args.seed,
         sparse="engine" if getattr(args, "engine_sparse", False) else "auto",
+        spill_threshold_bytes=getattr(args, "spill_threshold", None),
     )
     obs_log = getattr(args, "obs", None)
     chrome_path = getattr(args, "chrome_trace", None)
@@ -127,6 +134,13 @@ def cmd_cluster(args) -> int:
             f"{stats['shuffle_bytes']} shuffle bytes",
             file=sys.stderr,
         )
+        if stats.get("streamed"):
+            print(
+                f"# streamed: {stats.get('edges', 0)} edges fed incrementally, "
+                f"{stats.get('spill_segments', 0)} spill segment(s), "
+                f"{stats.get('spill_bytes', 0)} spill bytes",
+                file=sys.stderr,
+            )
     return 0
 
 

@@ -199,6 +199,15 @@ class MrMCMinH:
         collision-corrected Jaccard estimates against ``theta``.  That
         correction is only valid for the positional estimator, so the
         flag rejects ``estimator="set"`` combinations.
+    spill_threshold_bytes:
+        Engage the external spill-to-disk shuffle
+        (:class:`~repro.mapreduce.shuffle.SpillingShuffle`) in every job
+        the pipeline runs: per-partition map-output buffers over this
+        size are sorted and spilled to CRC-guarded segment files and
+        merged lazily, so shuffle memory stays bounded at ~1M-read
+        scale.  The engine-sparse path additionally streams verified
+        candidate edges straight into the clusterer.  ``None`` (default)
+        keeps everything in memory; output is byte-identical either way.
     """
 
     def __init__(
@@ -216,6 +225,7 @@ class MrMCMinH:
         sparse: bool | str = "auto",
         wire_bits: int | None = None,
         sparse_cutoff: int = SPARSE_AUTO_CUTOFF,
+        spill_threshold_bytes: int | None = None,
     ):
         if method not in METHODS:
             raise ClusterConfigError(
@@ -239,6 +249,11 @@ class MrMCMinH:
             raise ClusterConfigError(
                 f"sparse_cutoff must be >= 1, got {sparse_cutoff}"
             )
+        if spill_threshold_bytes is not None and spill_threshold_bytes < 0:
+            raise ClusterConfigError(
+                "spill_threshold_bytes must be >= 0 or None, got "
+                f"{spill_threshold_bytes}"
+            )
         self.config = SketchingConfig(
             kmer_size=kmer_size, num_hashes=num_hashes, seed=seed
         )
@@ -258,6 +273,7 @@ class MrMCMinH:
         self.num_map_tasks = num_map_tasks
         self.sparse = sparse
         self.sparse_cutoff = sparse_cutoff
+        self.spill_threshold_bytes = spill_threshold_bytes
         self.wire_bits = wire_bits
         if wire_bits is not None:
             if self.estimator != "positional":
@@ -368,7 +384,11 @@ class MrMCMinH:
             result = self.runner.run(
                 sketch_job,
                 inputs,
-                JobConf(num_map_tasks=self.num_map_tasks, num_reduce_tasks=1),
+                JobConf(
+                    num_map_tasks=self.num_map_tasks,
+                    num_reduce_tasks=1,
+                    spill_threshold_bytes=self.spill_threshold_bytes,
+                ),
             )
             counters.merge(result.counters)
             if result.trace is not None:
@@ -409,6 +429,8 @@ class MrMCMinH:
                 runner=self.runner,
                 num_map_tasks=self.num_map_tasks,
                 num_reduce_tasks=self.num_map_tasks,
+                stream=True,
+                spill_threshold_bytes=self.spill_threshold_bytes,
             )
             counters.merge(engine_run.counters)
             traces.extend(engine_run.traces)
@@ -423,10 +445,15 @@ class MrMCMinH:
             )
             assignment = engine_run.assignment
             sparse_stats = {
-                "candidate_pairs": len(engine_run.pairs),
-                "edges": len(engine_run.edges),
+                "candidate_pairs": engine_run.candidate_pair_count,
+                "edges": engine_run.edge_count,
                 "rounds": engine_run.rounds,
                 "shuffle_bytes": engine_run.shuffle_bytes,
+                "streamed": engine_run.streamed,
+                "spill_segments": engine_run.counters.get(
+                    "shuffle", "spill_segments"
+                ),
+                "spill_bytes": engine_run.counters.get("shuffle", "spill_bytes"),
             }
         elif mode == "sparse":
             from repro.cluster.sparse import (

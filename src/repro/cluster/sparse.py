@@ -211,26 +211,110 @@ def candidate_pairs_mapreduce(
     return dict(counts), result
 
 
+class SingleLinkageEdgeStream:
+    """Incremental single-linkage clustering fed one edge at a time.
+
+    Feed above-threshold ``(i, j)`` index pairs through :meth:`add` as
+    they are produced (e.g. straight from a reducer's output stream) and
+    call :meth:`finish` once: every edge merges two union-find components,
+    so memory is O(N) regardless of how many edges stream past — never
+    O(edges).  The result is independent of edge order and duplication —
+    :meth:`UnionFind.labels` renumbers components in first-seen index
+    order — which is what lets the in-process path and the MapReduce job
+    chain (:mod:`repro.cluster.sparse_jobs`) produce byte-identical
+    assignments from differently-ordered pair streams.
+    """
+
+    def __init__(self, read_ids: Sequence[str]):
+        self.read_ids = list(read_ids)
+        if not self.read_ids:
+            raise ClusteringError("cannot cluster an empty sketch list")
+        self._uf = UnionFind(len(self.read_ids))
+        self.edges_seen = 0
+
+    def add(self, i: int, j: int) -> None:
+        self._uf.union(i, j)
+        self.edges_seen += 1
+
+    def finish(self) -> ClusterAssignment:
+        return ClusterAssignment.from_labels(self.read_ids, self._uf.labels())
+
+
+class GreedyEdgeStream:
+    """Incremental Algorithm-1 clustering fed one edge at a time.
+
+    Accumulates the adjacency (O(N + edges kept) — only *above-threshold*
+    edges, the sparse survivors, not the full candidate list) and runs the
+    assignment sweep in :meth:`finish`: indices are scanned in input
+    order, the first unassigned index becomes a representative and claims
+    all its still-unassigned neighbours.  Only the edge *set* matters
+    (every neighbour of a representative gets the same label), so the
+    result is order/duplication independent and shared by the in-process
+    and engine paths.
+    """
+
+    def __init__(self, read_ids: Sequence[str]):
+        self.read_ids = list(read_ids)
+        if not self.read_ids:
+            raise ClusteringError("cannot cluster an empty sketch list")
+        if len(set(self.read_ids)) != len(self.read_ids):
+            raise ClusteringError("sketch read ids must be unique")
+        self._neighbours: dict[int, list[int]] = defaultdict(list)
+        self.edges_seen = 0
+
+    def add(self, i: int, j: int) -> None:
+        self._neighbours[i].append(j)
+        self._neighbours[j].append(i)
+        self.edges_seen += 1
+
+    def finish(self) -> ClusterAssignment:
+        n = len(self.read_ids)
+        labels = np.full(n, -1, dtype=np.int64)
+        next_label = 0
+        for i in range(n):
+            if labels[i] >= 0:
+                continue
+            labels[i] = next_label
+            for j in self._neighbours.get(i, ()):
+                # Only sequences after i in input order can still be
+                # unassigned; Algorithm 1 assigns them to the current rep.
+                if labels[j] < 0:
+                    labels[j] = next_label
+            next_label += 1
+        return ClusterAssignment.from_labels(
+            self.read_ids, [int(v) for v in labels]
+        )
+
+
+def make_edge_stream(read_ids: Sequence[str], method: str):
+    """Edge-stream clusterer for a pipeline method name.
+
+    ``"hierarchical"`` maps to single linkage (what the sparse path
+    computes exactly), ``"greedy"`` to the Algorithm-1 sweep.
+    """
+    if method == "greedy":
+        return GreedyEdgeStream(read_ids)
+    if method == "hierarchical":
+        return SingleLinkageEdgeStream(read_ids)
+    raise ClusteringError(
+        f"unknown edge-stream method {method!r}; expected 'greedy' or 'hierarchical'"
+    )
+
+
 def single_linkage_from_edges(
     read_ids: Sequence[str],
     edges,
 ) -> ClusterAssignment:
     """Single-linkage clustering over a stream of above-threshold edges.
 
-    ``edges`` is any iterable of ``(i, j)`` index pairs; every edge merges
-    the two components.  The result is independent of edge order and
-    duplication — :meth:`UnionFind.labels` renumbers components in
-    first-seen index order — which is what lets the in-process path and
-    the MapReduce job chain (:mod:`repro.cluster.sparse_jobs`) produce
-    byte-identical assignments from differently-ordered pair streams.
+    Thin wrapper over :class:`SingleLinkageEdgeStream`; ``edges`` is any
+    iterable (list or generator) of ``(i, j)`` index pairs and is consumed
+    lazily — results are identical either way by construction.
     """
-    read_ids = list(read_ids)
-    if not read_ids:
-        raise ClusteringError("cannot cluster an empty sketch list")
-    uf = UnionFind(len(read_ids))
+    stream = SingleLinkageEdgeStream(read_ids)
     for i, j in edges:
-        uf.union(i, j)
-    return ClusterAssignment.from_labels(read_ids, uf.labels())
+        stream.add(i, j)
+    return stream.finish()
 
 
 def greedy_from_edges(
@@ -239,35 +323,13 @@ def greedy_from_edges(
 ) -> ClusterAssignment:
     """Algorithm 1's assignment sweep over a stream of above-threshold edges.
 
-    Scans indices in input order; the first unassigned index becomes a
-    representative and claims all its still-unassigned neighbours.  Only
-    the edge *set* matters (every neighbour of a representative gets the
-    same label), so this too is order/duplication independent and shared
-    by the in-process and engine paths.
+    Thin wrapper over :class:`GreedyEdgeStream`; ``edges`` is consumed
+    lazily, list or generator alike.
     """
-    read_ids = list(read_ids)
-    if not read_ids:
-        raise ClusteringError("cannot cluster an empty sketch list")
-    if len(set(read_ids)) != len(read_ids):
-        raise ClusteringError("sketch read ids must be unique")
-    neighbours: dict[int, list[int]] = defaultdict(list)
+    stream = GreedyEdgeStream(read_ids)
     for i, j in edges:
-        neighbours[i].append(j)
-        neighbours[j].append(i)
-    n = len(read_ids)
-    labels = np.full(n, -1, dtype=np.int64)
-    next_label = 0
-    for i in range(n):
-        if labels[i] >= 0:
-            continue
-        labels[i] = next_label
-        for j in neighbours.get(i, ()):
-            # Only sequences after i in input order can still be
-            # unassigned; Algorithm 1 assigns them to the current rep.
-            if labels[j] < 0:
-                labels[j] = next_label
-        next_label += 1
-    return ClusterAssignment.from_labels(read_ids, [int(v) for v in labels])
+        stream.add(i, j)
+    return stream.finish()
 
 
 def sparse_single_linkage(

@@ -54,7 +54,11 @@ import numpy as np
 
 from repro.errors import ClusteringError, SparseCompatibilityError
 from repro.cluster.assignments import ClusterAssignment
-from repro.cluster.sparse import greedy_from_edges, single_linkage_from_edges
+from repro.cluster.sparse import (
+    greedy_from_edges,
+    make_edge_stream,
+    single_linkage_from_edges,
+)
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.job import MapReduceJob, identity_mapper
 from repro.mapreduce.types import JobConf, JobTrace, stable_hash
@@ -245,6 +249,14 @@ class SparseEngineRun:
     band_size: int = 1
     wire_bits: int | None = None
     side_data_bytes: int = 0
+    candidate_pair_count: int = 0
+    """Verified candidate pairs seen (equals ``len(pairs)`` when collected;
+    the only pair accounting available in streamed runs)."""
+    edge_count: int = 0
+    """Above-threshold edges (equals ``len(edges)`` when collected)."""
+    streamed: bool = False
+    """True when the verify output was streamed straight into the
+    clusterer — ``pairs``/``matches``/``edges`` are then left empty."""
 
     @property
     def rounds(self) -> int:
@@ -273,6 +285,8 @@ def run_sparse_jobs(
     wire_bits: int | None = None,
     num_map_tasks: int = 4,
     num_reduce_tasks: int = 4,
+    stream: bool = False,
+    spill_threshold_bytes: int | None = None,
 ) -> SparseEngineRun:
     """Run the LSH candidate chain, optionally through to a clustering.
 
@@ -292,11 +306,27 @@ def run_sparse_jobs(
         Verify against b-bit packed side-data sketches instead of full
         precision; edges are thresholded at
         ``effective_threshold(threshold, wire_bits)``.
+    stream:
+        Feed the verify job's output records straight into the edge-stream
+        clusterer (``output_sink``) instead of collecting them in the
+        driver: the full candidate-pair list is never materialized
+        (``pairs``/``matches``/``edges`` stay empty; the counts survive as
+        ``candidate_pair_count``/``edge_count``).  Assignments are
+        byte-identical to the collected path because both clusterers are
+        edge-order/duplication independent.  Requires a ``threshold``.
+    spill_threshold_bytes:
+        Forwarded to both jobs' :class:`JobConf` — engages the external
+        spill-to-disk shuffle so the chain's group-bys also stop being
+        memory-bound.  ``None`` keeps the in-memory shuffle.
     """
     from repro.mapreduce.runner import SerialRunner
 
     if not sketches:
         raise ClusteringError("no sketches to index")
+    if stream and threshold is None:
+        raise ClusteringError(
+            "stream=True requires a threshold (edges stream into a clusterer)"
+        )
     if min_shared < 1:
         raise ClusteringError(f"min_shared must be >= 1, got {min_shared}")
     if method not in ENGINE_METHODS:
@@ -342,7 +372,9 @@ def run_sparse_jobs(
             band_job,
             inputs,
             JobConf(
-                num_map_tasks=num_map_tasks, num_reduce_tasks=num_reduce_tasks
+                num_map_tasks=num_map_tasks,
+                num_reduce_tasks=num_reduce_tasks,
+                spill_threshold_bytes=spill_threshold_bytes,
             ),
         )
         counters.merge(band_result.counters)
@@ -365,13 +397,33 @@ def run_sparse_jobs(
             combiner=sum_combiner,
             reducer=VerifyReducer(side, min_shared),
         )
-        verify_result = runner.run(
-            verify_job,
-            band_result.output,
-            JobConf(
-                num_map_tasks=num_map_tasks, num_reduce_tasks=num_reduce_tasks
-            ),
+        verify_conf = JobConf(
+            num_map_tasks=num_map_tasks,
+            num_reduce_tasks=num_reduce_tasks,
+            spill_threshold_bytes=spill_threshold_bytes,
         )
+        clusterer = None
+        pair_count = 0
+        if stream:
+            # Edges flow from the reducers straight into the incremental
+            # clusterer: the driver holds O(N) union-find / adjacency
+            # state, never the O(pairs) candidate list.
+            clusterer = make_edge_stream([s.read_id for s in sketches], method)
+
+            def sink(record):
+                nonlocal pair_count
+                (i, j), (_collisions, match) = record
+                pair_count += 1
+                if float(match) >= theta:
+                    clusterer.add(int(i), int(j))
+
+            verify_result = runner.run(
+                verify_job, band_result.output, verify_conf, output_sink=sink
+            )
+        else:
+            verify_result = runner.run(
+                verify_job, band_result.output, verify_conf
+            )
         counters.merge(verify_result.counters)
         if verify_result.trace is not None:
             traces.append(verify_result.trace)
@@ -379,35 +431,39 @@ def run_sparse_jobs(
 
     pairs: dict[tuple[int, int], int] = {}
     matches: dict[tuple[int, int], float] = {}
-    for (i, j), (collisions, match) in verify_result.output:
-        pair = (int(i), int(j))
-        pairs[pair] = int(collisions)
-        matches[pair] = float(match)
-    edges = (
-        [pair for pair, match in matches.items() if match >= theta]
-        if theta is not None
-        else []
-    )
+    edges: list[tuple[int, int]] = []
+    if not stream:
+        for (i, j), (collisions, match) in verify_result.output:
+            pair = (int(i), int(j))
+            pairs[pair] = int(collisions)
+            matches[pair] = float(match)
+        if theta is not None:
+            edges = [pair for pair, match in matches.items() if match >= theta]
+        pair_count = len(pairs)
+    edge_count = clusterer.edges_seen if clusterer is not None else len(edges)
 
     # ---- driver: union-find / greedy sweep over the edge stream ----------
     assignment: ClusterAssignment | None = None
     if threshold is not None:
         t0 = time.perf_counter()
-        with tracer.span("phase:cluster", kind="phase", num_edges=len(edges)):
-            read_ids = [s.read_id for s in sketches]
-            if method == "hierarchical":
-                assignment = single_linkage_from_edges(read_ids, edges)
+        with tracer.span("phase:cluster", kind="phase", num_edges=edge_count):
+            if clusterer is not None:
+                assignment = clusterer.finish()
             else:
-                assignment = greedy_from_edges(read_ids, edges)
+                read_ids = [s.read_id for s in sketches]
+                if method == "hierarchical":
+                    assignment = single_linkage_from_edges(read_ids, edges)
+                else:
+                    assignment = greedy_from_edges(read_ids, edges)
         timings["cluster"] = time.perf_counter() - t0
         counters.increment("sparse_jobs", "clusters", assignment.num_clusters)
 
     shuffle_bytes = sum(t.shuffle_bytes for t in traces)
-    counters.increment("sparse_jobs", "candidate_pairs", len(pairs))
-    counters.increment("sparse_jobs", "edges", len(edges))
+    counters.increment("sparse_jobs", "candidate_pairs", pair_count)
+    counters.increment("sparse_jobs", "edges", edge_count)
     counters.increment("sparse_jobs", "rounds", len(traces))
-    tracer.metrics.gauge("sparse_jobs.candidate_pairs").set(len(pairs))
-    tracer.metrics.gauge("sparse_jobs.edges").set(len(edges))
+    tracer.metrics.gauge("sparse_jobs.candidate_pairs").set(pair_count)
+    tracer.metrics.gauge("sparse_jobs.edges").set(edge_count)
     tracer.metrics.gauge("sparse_jobs.rounds").set(len(traces))
     tracer.metrics.gauge("sparse_jobs.shuffle_bytes").set(shuffle_bytes)
     tracer.metrics.gauge("sparse_jobs.side_data_bytes").set(side.nbytes)
@@ -424,6 +480,9 @@ def run_sparse_jobs(
         band_size=band_size,
         wire_bits=wire_bits,
         side_data_bytes=side.nbytes,
+        candidate_pair_count=pair_count,
+        edge_count=edge_count,
+        streamed=stream,
     )
 
 
@@ -436,6 +495,7 @@ def engine_candidate_pairs(
     max_group: int | None = None,
     num_map_tasks: int = 4,
     num_reduce_tasks: int = 4,
+    spill_threshold_bytes: int | None = None,
 ) -> tuple[dict[tuple[int, int], int], SparseEngineRun]:
     """Candidate pairs via the job chain; drop-in for
     :func:`repro.cluster.sparse.candidate_pairs` (returns the run too)."""
@@ -448,6 +508,7 @@ def engine_candidate_pairs(
         max_group=max_group,
         num_map_tasks=num_map_tasks,
         num_reduce_tasks=num_reduce_tasks,
+        spill_threshold_bytes=spill_threshold_bytes,
     )
     return run.pairs, run
 
@@ -463,6 +524,8 @@ def engine_sparse_cluster(
     wire_bits: int | None = None,
     num_map_tasks: int = 4,
     num_reduce_tasks: int = 4,
+    stream: bool = False,
+    spill_threshold_bytes: int | None = None,
 ) -> SparseEngineRun:
     """Cluster through the job chain.
 
@@ -470,7 +533,7 @@ def engine_sparse_cluster(
     byte-identical to :func:`repro.cluster.sparse.sparse_single_linkage`
     (``method="hierarchical"``) or
     :func:`repro.cluster.sparse.sparse_greedy_cluster`
-    (``method="greedy"``) at the same ``max_group``.
+    (``method="greedy"``) at the same ``max_group`` — streamed or not.
     """
     if threshold is None:
         raise ClusteringError("engine_sparse_cluster requires a threshold")
@@ -484,4 +547,6 @@ def engine_sparse_cluster(
         wire_bits=wire_bits,
         num_map_tasks=num_map_tasks,
         num_reduce_tasks=num_reduce_tasks,
+        stream=stream,
+        spill_threshold_bytes=spill_threshold_bytes,
     )

@@ -228,6 +228,12 @@ class FaultPlan:
         Probability that an attempt lands on a degraded node and is
         delayed by ``slow_node_delay`` seconds.  Unlike a hang, a slow
         attempt always completes — it eats latency budget, not attempts.
+    spill_corrupt_rate:
+        Probability that one spill segment write of the external shuffle
+        suffers bit-rot on disk (a payload byte flipped after the clean
+        CRC32 is computed).  The shuffle's verification pass detects the
+        mismatch and re-spills the segment from the retained map output —
+        the spill-file analogue of the corrupted-partition retry.
     max_faulted_attempts:
         When set, rate-based faults are only injected on attempts
         ``<= max_faulted_attempts`` — guarantees convergence within a known
@@ -260,6 +266,7 @@ class FaultPlan:
         hang_rate: float = 0.0,
         corrupt_rate: float = 0.0,
         slow_node_rate: float = 0.0,
+        spill_corrupt_rate: float = 0.0,
         hang_delay: float = 0.05,
         slow_node_delay: float = 0.02,
         max_faulted_attempts: int | None = None,
@@ -276,6 +283,7 @@ class FaultPlan:
             ("hang_rate", hang_rate),
             ("corrupt_rate", corrupt_rate),
             ("slow_node_rate", slow_node_rate),
+            ("spill_corrupt_rate", spill_corrupt_rate),
         ):
             if not 0.0 <= rate <= 1.0:
                 raise MapReduceError(f"{name} must be in [0,1], got {rate}")
@@ -299,6 +307,7 @@ class FaultPlan:
         self.hang_rate = hang_rate
         self.corrupt_rate = corrupt_rate
         self.slow_node_rate = slow_node_rate
+        self.spill_corrupt_rate = spill_corrupt_rate
         self.hang_delay = hang_delay
         self.slow_node_delay = slow_node_delay
         self.max_faulted_attempts = max_faulted_attempts
@@ -357,6 +366,24 @@ class FaultPlan:
                 reason="attempt scheduled on a degraded node",
             )
         return None
+
+    def spill_fault_for(
+        self, job: str, partition: int, segment: int, attempt: int
+    ) -> bool:
+        """Whether one spill segment write suffers bit-rot.
+
+        ``partition``/``segment`` address the segment within the job's
+        external shuffle; ``attempt`` is the 1-based write attempt (a
+        re-spill after a detected mismatch draws fresh, so repaired
+        segments converge under ``max_faulted_attempts``).
+        """
+        if (
+            self.max_faulted_attempts is not None
+            and attempt > self.max_faulted_attempts
+        ):
+            return False
+        draw = self._draw(f"spill-bitrot|{partition}", job, "spill", segment, attempt)
+        return draw < self.spill_corrupt_rate
 
     # ---- injection helpers ------------------------------------------------
 
@@ -465,6 +492,7 @@ class FaultPlan:
             f"FaultPlan(seed={self.seed}, crash=({self.mapper_crash_rate},"
             f" {self.reducer_crash_rate}), hang={self.hang_rate},"
             f" corrupt={self.corrupt_rate}, slow={self.slow_node_rate},"
+            f" spill={self.spill_corrupt_rate},"
             f" kills={len(self.datanode_kills)},"
             f" scheduled={len(self.schedule)})"
         )

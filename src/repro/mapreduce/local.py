@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import os
 import time
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 from multiprocessing import get_context
 
@@ -53,7 +53,12 @@ from repro.mapreduce.faults import (
 )
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.runner import JobResult, SerialRunner, _approx_bytes, _median
-from repro.mapreduce.shuffle import shuffle
+from repro.mapreduce.shuffle import (
+    SpillingShuffle,
+    partition_num_records,
+    shuffle,
+    sort_records,
+)
 from repro.mapreduce.types import JobConf, JobTrace, TaskTrace
 from repro.obs.trace import NULL_TRACER, Tracer, current_tracer
 from repro.utils.chunking import chunk_indices
@@ -222,8 +227,15 @@ class MultiprocessRunner:
         fault_plan: FaultPlan | None = None,
         checkpoint: JobCheckpoint | None = None,
         retry: RetryPolicy | None = None,
+        output_sink: Callable[[tuple], None] | None = None,
     ) -> JobResult:
-        """Execute ``job`` over ``inputs`` with process-level parallelism."""
+        """Execute ``job`` over ``inputs`` with process-level parallelism.
+
+        ``output_sink`` streams reduce output records to the callback as
+        each reduce task completes instead of accumulating them (the
+        returned ``JobResult.output`` is empty and ``sort_output`` does
+        not apply); see :meth:`SerialRunner.run`.
+        """
         conf = conf or JobConf()
         plan = fault_plan if fault_plan is not None else self.fault_plan
         ckpt = checkpoint if checkpoint is not None else self.checkpoint
@@ -287,40 +299,79 @@ class MultiprocessRunner:
                 if plan is not None:
                     plan.trigger_barrier("map_end", counters)
 
-                with tracer.span("shuffle", kind="stage") as shuffle_span:
-                    if job.wire is not None:
-                        from repro.mapreduce.runner import _through_wire
+                # The try/finally spans shuffle AND reduce: spill segments
+                # must be removed even when finish() itself fails
+                # (unrepairable bit-rot), not just on reducer errors.
+                spill: SpillingShuffle | None = None
+                try:
+                    with tracer.span("shuffle", kind="stage") as shuffle_span:
+                        if job.wire is not None:
+                            from repro.mapreduce.runner import _through_wire
 
-                        map_outputs = _through_wire(job, map_outputs, counters, trace)
-                    partitions, moved = shuffle(
-                        map_outputs, conf.num_reduce_tasks, job.partitioner
-                    )
-                    counters.increment("job", "shuffle_records", moved)
-                    if trace is not None and job.wire is None:
-                        trace.shuffle_bytes = sum(
-                            _approx_bytes(p) for p in map_outputs
+                            map_outputs = _through_wire(
+                                job, map_outputs, counters, trace
+                            )
+                        if conf.spill_threshold_bytes is not None:
+                            spill = SpillingShuffle(
+                                conf.num_reduce_tasks,
+                                job.partitioner,
+                                spill_threshold_bytes=conf.spill_threshold_bytes,
+                                job_name=job.name,
+                                fault_plan=plan,
+                                counters=counters,
+                            )
+                            for out in map_outputs:
+                                spill.add_task_output(out)
+                            partitions, moved = spill.finish()
+                            shuffle_span.attrs["spill_segments"] = (
+                                spill.spill_segments
+                            )
+                            shuffle_span.attrs["spill_bytes"] = spill.spill_bytes
+                        else:
+                            partitions, moved = shuffle(
+                                map_outputs, conf.num_reduce_tasks, job.partitioner
+                            )
+                        counters.increment("job", "shuffle_records", moved)
+                        if trace is not None and job.wire is None:
+                            trace.shuffle_bytes = sum(
+                                _approx_bytes(p) for p in map_outputs
+                            )
+                        shuffle_span.attrs["records"] = moved
+
+                    with tracer.span("reduce", kind="stage"):
+                        reduce_states = self._run_phase(
+                            pool,
+                            effective,
+                            kind="reduce",
+                            payloads=partitions,
+                            records_in=[
+                                partition_num_records(p) for p in partitions
+                            ],
+                            policy=policy,
+                            plan=plan,
+                            checkpoint=ckpt,
+                            counters=counters,
                         )
-                    shuffle_span.attrs["records"] = moved
-
-                with tracer.span("reduce", kind="stage"):
-                    reduce_states = self._run_phase(
-                        pool,
-                        effective,
-                        kind="reduce",
-                        payloads=partitions,
-                        records_in=[sum(len(v) for _, v in p) for p in partitions],
-                        policy=policy,
-                        plan=plan,
-                        checkpoint=ckpt,
-                        counters=counters,
+                    output: list[tuple] = []
+                    reduce_output_records = 0
+                    for state in reduce_states:
+                        counters.merge(state.counters)
+                        if trace is not None:
+                            trace.reduce_tasks.append(
+                                self._task_trace(state, "reduce")
+                            )
+                        reduce_output_records += len(state.output)
+                        if output_sink is not None:
+                            for record in state.output:
+                                output_sink(record)
+                        else:
+                            output.extend(state.output)
+                    counters.increment(
+                        "job", "reduce_output_records", reduce_output_records
                     )
-                output: list[tuple] = []
-                for state in reduce_states:
-                    counters.merge(state.counters)
-                    if trace is not None:
-                        trace.reduce_tasks.append(self._task_trace(state, "reduce"))
-                    output.extend(state.output)
-                counters.increment("job", "reduce_output_records", len(output))
+                finally:
+                    if spill is not None:
+                        spill.close()
 
                 if plan is not None:
                     plan.trigger_barrier("job_end", counters)
@@ -335,11 +386,10 @@ class MultiprocessRunner:
                 pool.terminate()
                 pool.join()
 
-        if conf.sort_output:
-            try:
-                output.sort(key=lambda kv: kv[0])
-            except TypeError:
-                output.sort(key=lambda kv: (type(kv[0]).__name__, repr(kv[0])))
+        if conf.sort_output and output_sink is None:
+            # Shares shuffle.sort_records so the mixed-type fallback
+            # ordering cannot drift from the shuffle's grouping order.
+            output = sort_records(output)
         return JobResult(output=output, counters=counters, trace=trace)
 
     # ---- phase execution ---------------------------------------------------

@@ -27,7 +27,6 @@ metrics registry.  With no tracer active all instrumentation is no-op.
 
 from __future__ import annotations
 
-import pickle
 import time
 from collections import defaultdict
 from collections.abc import Callable, Sequence
@@ -43,7 +42,13 @@ from repro.mapreduce.faults import (
     records_checksum,
 )
 from repro.mapreduce.job import MapReduceJob
-from repro.mapreduce.shuffle import shuffle
+from repro.mapreduce.shuffle import (
+    SpillingShuffle,
+    approx_records_bytes,
+    partition_num_records,
+    shuffle,
+    sort_records,
+)
 from repro.mapreduce.types import JobConf, JobTrace, TaskTrace
 from repro.obs.trace import current_tracer
 from repro.utils.chunking import chunk_indices
@@ -58,24 +63,9 @@ class JobResult:
     trace: JobTrace | None = None
 
 
-def _approx_bytes(records: Sequence[tuple]) -> int:
-    """Approximate serialized size of records (sampled for large inputs).
-
-    The sampling stride is exact (at most 64 evenly spaced records), so
-    equal inputs always produce equal byte estimates and traces stay
-    deterministic.  Only serialization failures are treated as "size
-    unknown"; anything else propagates.
-    """
-    n = len(records)
-    if n == 0:
-        return 0
-    stride = -(-n // 64)  # ceil(n / 64): at most 64 samples
-    sample = list(records[::stride]) if stride > 1 else list(records)
-    try:
-        per = sum(len(pickle.dumps(r, protocol=pickle.HIGHEST_PROTOCOL)) for r in sample)
-    except (pickle.PicklingError, TypeError, AttributeError):
-        return 0
-    return int(per / len(sample) * n)
+# Shared with the spill-threshold estimate of the external shuffle; the
+# multiprocess runner imports it from here.
+_approx_bytes = approx_records_bytes
 
 
 def _through_wire(
@@ -148,8 +138,17 @@ class SerialRunner:
         fault_plan: FaultPlan | None = None,
         checkpoint: JobCheckpoint | None = None,
         retry: RetryPolicy | None = None,
+        output_sink: Callable[[tuple], None] | None = None,
     ) -> JobResult:
-        """Execute ``job`` over ``inputs`` (a sequence of key/value pairs)."""
+        """Execute ``job`` over ``inputs`` (a sequence of key/value pairs).
+
+        With ``output_sink`` set, every reduce output record is fed to the
+        callback as it is produced instead of being accumulated (the
+        returned :class:`JobResult` has an empty ``output`` and
+        ``sort_output`` does not apply) — the streaming hand-off the
+        sparse candidate-edge path uses to avoid materializing the full
+        pair list in the driver.
+        """
         conf = conf or JobConf()
         plan = fault_plan if fault_plan is not None else self.fault_plan
         ckpt = checkpoint if checkpoint is not None else self.checkpoint
@@ -196,42 +195,73 @@ class SerialRunner:
                 plan.trigger_barrier("map_end", counters)
 
             # ---- shuffle -------------------------------------------------
-            with tracer.span("shuffle", kind="stage") as shuffle_span:
-                if job.wire is not None:
-                    map_outputs = _through_wire(job, map_outputs, counters, trace)
-                partitions, moved = shuffle(
-                    map_outputs, conf.num_reduce_tasks, job.partitioner
-                )
-                counters.increment("job", "shuffle_records", moved)
-                if trace is not None and job.wire is None:
-                    trace.shuffle_bytes = sum(_approx_bytes(p) for p in map_outputs)
-                shuffle_span.attrs["records"] = moved
-
-            # ---- reduce phase -------------------------------------------
+            # The try/finally spans shuffle AND reduce: spill segments must
+            # be removed even when finish() itself fails (unrepairable
+            # bit-rot), not just on reducer errors.
+            spill: SpillingShuffle | None = None
             output: list[tuple] = []
             reduce_durations: list[float] = []
-            with tracer.span("reduce", kind="stage"):
-                for r, groups in enumerate(partitions):
-                    records_in = sum(len(vals) for _, vals in groups)
-                    task_trace, out = self._execute_task(
-                        job=job,
-                        kind="reduce",
-                        index=r,
-                        task_id=f"{job.name}-r{r:04d}",
-                        body=lambda groups=groups: self._reduce_groups(job, groups),
-                        records_in=records_in,
-                        bytes_in=0,
-                        policy=policy,
-                        plan=plan,
-                        checkpoint=ckpt,
-                        counters=counters,
-                        completed_durations=reduce_durations,
-                    )
-                    counters.increment("job", "reduce_input_records", records_in)
-                    counters.increment("job", "reduce_output_records", len(out))
-                    if trace is not None:
-                        trace.reduce_tasks.append(task_trace)
-                    output.extend(out)
+            try:
+                with tracer.span("shuffle", kind="stage") as shuffle_span:
+                    if job.wire is not None:
+                        map_outputs = _through_wire(
+                            job, map_outputs, counters, trace
+                        )
+                    if conf.spill_threshold_bytes is not None:
+                        spill = SpillingShuffle(
+                            conf.num_reduce_tasks,
+                            job.partitioner,
+                            spill_threshold_bytes=conf.spill_threshold_bytes,
+                            job_name=job.name,
+                            fault_plan=plan,
+                            counters=counters,
+                        )
+                        for out in map_outputs:
+                            spill.add_task_output(out)
+                        partitions, moved = spill.finish()
+                        shuffle_span.attrs["spill_segments"] = spill.spill_segments
+                        shuffle_span.attrs["spill_bytes"] = spill.spill_bytes
+                    else:
+                        partitions, moved = shuffle(
+                            map_outputs, conf.num_reduce_tasks, job.partitioner
+                        )
+                    counters.increment("job", "shuffle_records", moved)
+                    if trace is not None and job.wire is None:
+                        trace.shuffle_bytes = sum(
+                            _approx_bytes(p) for p in map_outputs
+                        )
+                    shuffle_span.attrs["records"] = moved
+
+                # ---- reduce phase ---------------------------------------
+                with tracer.span("reduce", kind="stage"):
+                    for r, groups in enumerate(partitions):
+                        records_in = partition_num_records(groups)
+                        task_trace, out = self._execute_task(
+                            job=job,
+                            kind="reduce",
+                            index=r,
+                            task_id=f"{job.name}-r{r:04d}",
+                            body=lambda groups=groups: self._reduce_groups(job, groups),
+                            records_in=records_in,
+                            bytes_in=0,
+                            policy=policy,
+                            plan=plan,
+                            checkpoint=ckpt,
+                            counters=counters,
+                            completed_durations=reduce_durations,
+                        )
+                        counters.increment("job", "reduce_input_records", records_in)
+                        counters.increment("job", "reduce_output_records", len(out))
+                        if trace is not None:
+                            trace.reduce_tasks.append(task_trace)
+                        if output_sink is not None:
+                            for record in out:
+                                output_sink(record)
+                        else:
+                            output.extend(out)
+            finally:
+                if spill is not None:
+                    spill.close()
 
             if plan is not None:
                 plan.trigger_barrier("job_end", counters)
@@ -242,11 +272,10 @@ class SerialRunner:
                 job_span.attrs["shuffle_bytes"] = counters.get("wire", "bytes_wire")
             tracer.metrics.record_counters(counters)
 
-        if conf.sort_output:
-            try:
-                output.sort(key=lambda kv: kv[0])
-            except TypeError:
-                output.sort(key=lambda kv: (type(kv[0]).__name__, repr(kv[0])))
+        if conf.sort_output and output_sink is None:
+            # Shares shuffle.sort_records so the mixed-type fallback
+            # ordering cannot drift from the shuffle's grouping order.
+            output = sort_records(output)
         return JobResult(output=output, counters=counters, trace=trace)
 
     def run_chain(

@@ -58,6 +58,14 @@ class JobConf:
     retry_backoff:
         Base of the exponential backoff slept between attempts
         (``backoff * 2**(attempt-1)`` seconds); 0 retries immediately.
+    spill_threshold_bytes:
+        Engage the external spill-to-disk shuffle
+        (:class:`~repro.mapreduce.shuffle.SpillingShuffle`): per-partition
+        map-output buffers exceeding this estimated byte size are sorted
+        and spilled to CRC-guarded temp segment files, and reducers
+        merge-iterate the sorted runs lazily (``0`` spills every
+        non-empty buffer).  ``None`` (the default) keeps the in-memory
+        shuffle; output is byte-identical either way.
     """
 
     num_map_tasks: int = 1
@@ -68,6 +76,7 @@ class JobConf:
     task_timeout: float | None = None
     speculative_margin: float = 0.0
     retry_backoff: float = 0.0
+    spill_threshold_bytes: int | None = None
 
     def __post_init__(self) -> None:
         if self.num_map_tasks < 1:
@@ -93,6 +102,11 @@ class JobConf:
         if self.retry_backoff < 0:
             raise MapReduceError(
                 f"retry_backoff must be >= 0, got {self.retry_backoff}"
+            )
+        if self.spill_threshold_bytes is not None and self.spill_threshold_bytes < 0:
+            raise MapReduceError(
+                "spill_threshold_bytes must be >= 0 or None, got "
+                f"{self.spill_threshold_bytes}"
             )
 
 

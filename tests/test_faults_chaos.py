@@ -24,7 +24,7 @@ def make_hdfs():
     return SimulatedHDFS(num_datanodes=4, block_size=256, replication=2, seed=0)
 
 
-def run_pipeline(records, runner=None, hdfs=None, sparse=False):
+def run_pipeline(records, runner=None, hdfs=None, sparse=False, spill=None):
     fs = hdfs or make_hdfs()
     model = MrMCMinH(
         kmer_size=5,
@@ -34,6 +34,7 @@ def run_pipeline(records, runner=None, hdfs=None, sparse=False):
         seed=0,
         runner=runner or SerialRunner(),
         sparse=sparse,
+        spill_threshold_bytes=spill,
     )
     MrMCMinH.stage_records(fs, "/in.fasta", records)
     run = model.fit_hdfs(fs, "/in.fasta", "/out.tsv")
@@ -161,6 +162,38 @@ class TestEndToEndChaos:
         retries = sum(t.total_retries for t in chaos_run.traces)
         assert retries > 0, "chaos plan injected no faults for this seed"
         assert chaos_run.counters.get("fault", "task_retries") == retries
+
+    def test_spilled_sparse_chain_survives_chaos_byte_identical(
+        self, two_family_records
+    ):
+        """The external-shuffle chain under full chaos: spilling forced on
+        (threshold 0 spills every buffer), mapper crashes, corrupted
+        shuffle partitions AND spill-segment bit-rot — the final TSV must
+        still match the fault-free in-memory run byte for byte."""
+        _clean_run, clean_tsv = run_pipeline(two_family_records, sparse="engine")
+
+        chaos_fs = make_hdfs()
+        plan = FaultPlan(
+            seed=CHAOS_SEED,
+            mapper_crash_rate=0.15,
+            corrupt_rate=0.15,
+            spill_corrupt_rate=0.3,
+            max_faulted_attempts=2,
+        ).bind_hdfs(chaos_fs)
+        runner = SerialRunner(fault_plan=plan, retry=RetryPolicy(max_attempts=4))
+        chaos_run, chaos_tsv = run_pipeline(
+            two_family_records, runner=runner, hdfs=chaos_fs,
+            sparse="engine", spill=0,
+        )
+
+        assert chaos_tsv == clean_tsv
+        assert chaos_run.mode == "engine"
+        assert chaos_run.sparse_stats["streamed"] is True
+        assert chaos_run.sparse_stats["spill_segments"] > 0
+        # The bit-rot really struck spill files and was really repaired.
+        corrupted = chaos_run.counters.get("fault", "spill_segments_corrupted")
+        assert corrupted > 0, "chaos plan rotted no spill segments for this seed"
+        assert chaos_run.counters.get("shuffle", "spill_respills") == corrupted
 
     def test_chaos_on_multiprocess_runner(self, two_family_records):
         from repro.mapreduce.local import MultiprocessRunner
